@@ -1,0 +1,245 @@
+//! GenCast analog: the same backbone trained under the EDM σ-space
+//! parameterization (Karras preconditioning, log-normal σ prior) and sampled
+//! with the stochastic Heun solver — the diffusion recipe GenCast uses,
+//! contrasted against AERIS's TrigFlow in the ablation benches.
+
+use aeris_autodiff::Tape;
+use aeris_core::{AerisModel, TrainSample};
+use aeris_diffusion::{EdmConfig, EdmSampler};
+use aeris_earthsim::NormStats;
+use aeris_nn::{AdamW, AdamWConfig, Binding};
+use aeris_tensor::{Rng, Tensor};
+use rayon::prelude::*;
+
+/// EDM-parameterized diffusion forecaster on the AERIS backbone.
+pub struct GenCastAnalog {
+    pub model: AerisModel,
+    pub stats: NormStats,
+    /// Residual statistics (targets are residual-standardized).
+    pub res_stats: NormStats,
+    pub edm: EdmConfig,
+    /// Sampler steps (GenCast uses ~20 solver steps).
+    pub n_sample_steps: usize,
+    /// Heun churn.
+    pub churn: f32,
+}
+
+impl GenCastAnalog {
+    /// Wrap a freshly initialized model.
+    pub fn new(model: AerisModel, stats: NormStats, res_stats: NormStats) -> Self {
+        GenCastAnalog {
+            model,
+            stats,
+            res_stats,
+            edm: EdmConfig::default(),
+            n_sample_steps: 12,
+            churn: 0.1,
+        }
+    }
+
+    /// Map σ to the network's time input (EDM's `c_noise`).
+    fn t_of_sigma(&self, sigma: f32) -> f32 {
+        0.25 * sigma.ln()
+    }
+
+    /// The preconditioned denoiser `D(x_σ, σ)` (raw network in, x₀-estimate
+    /// out), conditioned on the previous state and forcings.
+    pub fn denoise(&self, x_sigma: &Tensor, prev_std: &Tensor, forcings: &Tensor, sigma: f32) -> Tensor {
+        let (c_skip, c_out, c_in, _) = self.edm.precond(sigma);
+        let scaled = x_sigma.scale(c_in);
+        let f = self.model.velocity(&scaled, prev_std, forcings, self.t_of_sigma(sigma));
+        x_sigma.scale(c_skip).add(&f.scale(c_out))
+    }
+
+    /// One EDM training step over a batch; returns the mean weighted loss.
+    pub fn train_step(
+        &mut self,
+        opt: &mut AdamW,
+        batch: &[&TrainSample],
+        weights: &Tensor,
+        lr: f32,
+        rng: &mut Rng,
+    ) -> f64 {
+        let mut acc: Vec<Option<Tensor>> = vec![None; self.model.store.len()];
+        let mut total = 0.0f64;
+        for s in batch {
+            let sigma = self.edm.sample_sigma(rng);
+            let z = Tensor::randn(s.residual.shape(), rng);
+            let x_sigma = self.edm.add_noise(&s.residual, &z, sigma);
+            let (c_skip, c_out, c_in, _) = self.edm.precond(sigma);
+            // Train F to hit (x0 − c_skip·x_σ)/c_out with weight λ(σ)·c_out².
+            let target = s.residual.zip_map(&x_sigma, |x0, xs| (x0 - c_skip * xs) / c_out);
+            let lw = self.edm.loss_weight(sigma) * c_out * c_out;
+            let w = weights.scale(lw);
+            let input = self.model.assemble_input(&x_sigma.scale(c_in), &s.x_prev, &s.forcings);
+            let mut tape = Tape::new();
+            let mut binding = Binding::new(&self.model.store);
+            let iv = tape.constant(input);
+            let out = self.model.forward(&mut tape, &mut binding, iv, self.t_of_sigma(sigma));
+            let loss = tape.weighted_mse(out, &target, &w);
+            total += tape.value(loss).data()[0] as f64;
+            let mut grads = tape.backward(loss);
+            for (slot, g) in acc.iter_mut().zip(binding.collect_grads(&mut grads)) {
+                match (slot.as_mut(), g) {
+                    (Some(a), Some(g)) => a.add_assign(&g),
+                    (None, Some(g)) => *slot = Some(g),
+                    _ => {}
+                }
+            }
+        }
+        let inv = 1.0 / batch.len() as f32;
+        for g in acc.iter_mut().flatten() {
+            g.scale_inplace(inv);
+        }
+        opt.step(&mut self.model.store, &acc, lr);
+        total / batch.len() as f64
+    }
+
+    /// Train for shuffled epochs.
+    pub fn fit(
+        &mut self,
+        samples: &[TrainSample],
+        weights: &Tensor,
+        batch: usize,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut opt = AdamW::new(&self.model.store, AdamWConfig::default());
+        let mut rng = Rng::seed_from(seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut losses = Vec::new();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(batch.max(1)) {
+                let b: Vec<&TrainSample> = chunk.iter().map(|&i| &samples[i]).collect();
+                losses.push(self.train_step(&mut opt, &b, weights, lr, &mut rng));
+            }
+        }
+        losses
+    }
+
+    /// One stochastic forecast step (sample a residual with the Heun EDM
+    /// sampler, add to the state).
+    pub fn forecast_step(&self, x_prev: &Tensor, forcings: &Tensor, rng: &mut Rng) -> Tensor {
+        let prev_std = self.stats.standardize(x_prev);
+        let shape = prev_std.shape().to_vec();
+        let sampler = EdmSampler::new(self.edm, self.n_sample_steps, self.churn);
+        let mut denoise =
+            |x: &Tensor, sigma: f32| self.denoise(x, &prev_std, forcings, sigma);
+        let residual_std = sampler.sample(&shape, &mut denoise, rng);
+        let mut next = x_prev.clone();
+        for r in 0..shape[0] {
+            let row = next.row_mut(r);
+            for j in 0..shape[1] {
+                row[j] += residual_std.at(&[r, j]) * self.res_stats.std[j] + self.res_stats.mean[j];
+            }
+        }
+        next
+    }
+
+    /// Autoregressive rollout.
+    pub fn rollout(
+        &self,
+        x0: &Tensor,
+        forcings: &dyn Fn(usize) -> Tensor,
+        steps: usize,
+        rng: &mut Rng,
+    ) -> Vec<Tensor> {
+        let mut states = Vec::with_capacity(steps);
+        let mut x = x0.clone();
+        for k in 0..steps {
+            x = self.forecast_step(&x, &forcings(k), rng);
+            states.push(x.clone());
+        }
+        states
+    }
+
+    /// Ensemble of rollouts (rayon-parallel over members).
+    pub fn ensemble(
+        &self,
+        x0: &Tensor,
+        forcings: &(dyn Fn(usize) -> Tensor + Sync),
+        steps: usize,
+        n_members: usize,
+        base_seed: u64,
+    ) -> Vec<Vec<Tensor>> {
+        (0..n_members)
+            .into_par_iter()
+            .map(|m| {
+                let mut rng = Rng::seed_from(base_seed).stream(m as u64 + 1);
+                self.rollout(x0, &forcings, steps, &mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_core::AerisConfig;
+    use aeris_diffusion::loss_weights;
+    use aeris_earthsim::Grid;
+
+    fn setup() -> (GenCastAnalog, Vec<TrainSample>, Tensor) {
+        let cfg = AerisConfig::test_tiny();
+        let grid = Grid::new(cfg.grid_h, cfg.grid_w);
+        let weights = loss_weights(&grid.token_lat_weights(), &vec![1.0; cfg.channels]);
+        let mut rng = Rng::seed_from(4);
+        let samples: Vec<TrainSample> = (0..6)
+            .map(|_| TrainSample {
+                x_prev: Tensor::randn(&[cfg.tokens(), cfg.channels], &mut rng),
+                residual: Tensor::randn(&[cfg.tokens(), cfg.channels], &mut rng).scale(0.4),
+                forcings: Tensor::zeros(&[cfg.tokens(), 3]),
+            })
+            .collect();
+        let stats = NormStats { mean: vec![0.0; cfg.channels], std: vec![1.0; cfg.channels] };
+        (GenCastAnalog::new(AerisModel::new(cfg), stats.clone(), stats), samples, weights)
+    }
+
+    /// Per-step training losses are noisy under the random σ prior, so
+    /// learning is verified on a fixed validation configuration (fixed σ, z)
+    /// before vs after training.
+    #[test]
+    fn edm_training_reduces_loss() {
+        let (mut g, samples, weights) = setup();
+        let eval = |g: &GenCastAnalog| {
+            let sigma = 0.5f32;
+            let mut rng = Rng::seed_from(1234);
+            let mut total = 0.0f64;
+            for s in &samples {
+                let z = Tensor::randn(s.residual.shape(), &mut rng);
+                let x_sigma = g.edm.add_noise(&s.residual, &z, sigma);
+                let prev = g.stats.standardize(&s.x_prev);
+                let d = g.denoise(&x_sigma, &prev, &s.forcings, sigma);
+                let diff = d.sub(&s.residual);
+                total += diff.dot(&diff) / diff.len() as f64;
+            }
+            total / samples.len() as f64
+        };
+        let before = eval(&g);
+        let losses = g.fit(&samples, &weights, 2, 6, 3e-3, 2);
+        assert!(losses.iter().all(|l| l.is_finite()));
+        let after = eval(&g);
+        assert!(after < before * 0.97, "no learning: {before:.4} -> {after:.4}");
+    }
+
+    #[test]
+    fn denoiser_limits_match_preconditioning() {
+        let (g, samples, _) = setup();
+        let prev = g.stats.standardize(&samples[0].x_prev);
+        let forc = &samples[0].forcings;
+        let x = samples[0].residual.clone();
+        // σ → 0: D(x) → x (c_skip→1, c_out→0).
+        let d = g.denoise(&x, &prev, forc, 1e-4);
+        assert!(d.max_abs_diff(&x) < 1e-3);
+    }
+
+    #[test]
+    fn ensemble_members_differ() {
+        let (g, samples, _) = setup();
+        let forc = |_k: usize| Tensor::zeros(&[128, 3]);
+        let ens = g.ensemble(&samples[0].x_prev, &forc, 1, 2, 31);
+        assert!(ens[0][0].max_abs_diff(&ens[1][0]) > 1e-6);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline forecast systems for the AERIS evaluation (§VII-B).
+//!
+//! - [`simple`]: persistence and climatology (the WeatherBench floor),
+//! - [`deterministic`]: a GraphCast-class deterministic model — the same
+//!   Swin backbone trained with weighted MSE; exhibits the blurring and
+//!   zero-spread ensembles that motivate diffusion,
+//! - [`gencast`]: the GenCast analog — the same backbone under the EDM
+//!   σ-space parameterization with a stochastic Heun sampler,
+//! - [`numerical`]: the IFS ENS analog — the toy dynamical core integrated
+//!   from perturbed initial conditions with per-member stochastic physics.
+
+// Numerical kernels here frequently walk several arrays with one shared
+// index; explicit indexed loops are clearer than zipped iterator chains in
+// that style, so the pedantic range-loop lint is disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod deterministic;
+pub mod gencast;
+pub mod numerical;
+pub mod simple;
+
+pub use deterministic::DeterministicForecaster;
+pub use gencast::GenCastAnalog;
+pub use numerical::numerical_ensemble;
+pub use simple::{climatology_forecast, persistence_forecast};

@@ -1,0 +1,52 @@
+//! Persistence and climatology baselines.
+
+use aeris_earthsim::{render_climatology, Climate, VariableSet};
+use aeris_tensor::Tensor;
+
+/// Persistence: every lead time forecasts the initial state.
+pub fn persistence_forecast(x0: &Tensor, steps: usize) -> Vec<Tensor> {
+    (0..steps).map(|_| x0.clone()).collect()
+}
+
+/// Climatology: each lead forecasts the climatological state at its valid
+/// time. `start_day` is the day-of-year of the initial condition and
+/// `step_hours` the forecast cadence.
+pub fn climatology_forecast(
+    clim: &Climate,
+    vars: &VariableSet,
+    start_day: f64,
+    step_hours: f64,
+    steps: usize,
+) -> Vec<Tensor> {
+    (1..=steps)
+        .map(|k| render_climatology(clim, vars, start_day + k as f64 * step_hours / 24.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_earthsim::Grid;
+    use aeris_tensor::Rng;
+
+    #[test]
+    fn persistence_repeats_initial_state() {
+        let mut rng = Rng::seed_from(1);
+        let x0 = Tensor::randn(&[8, 3], &mut rng);
+        let f = persistence_forecast(&x0, 4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[3], x0);
+    }
+
+    #[test]
+    fn climatology_moves_with_the_season() {
+        let grid = Grid::new(16, 32);
+        let clim = Climate::new(grid, 3);
+        let vars = VariableSet::default_toy();
+        let f = climatology_forecast(&clim, &vars, 0.0, 6.0, 2);
+        assert_eq!(f.len(), 2);
+        // 90 days later the climatology differs.
+        let g = climatology_forecast(&clim, &vars, 90.0, 6.0, 1);
+        assert!(f[0].max_abs_diff(&g[0]) > 0.1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the toy-ERA5 substrate: a 6-hour step, rendering,
+//! and windowed store I/O.
+
+use aeris_earthsim::store::{ChunkedStore, StoreLayout};
+use aeris_earthsim::{ToyAtmosphere, ToyParams, VariableSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut sim = ToyAtmosphere::new(ToyParams { nlat: 32, nlon: 64, ..Default::default() });
+    sim.spinup(10);
+    c.bench_function("toy_atmosphere_step_32x64", |b| b.iter(|| sim.step()));
+    let vars = VariableSet::default_toy();
+    c.bench_function("render_25ch_32x64", |b| b.iter(|| black_box(sim.render(&vars))));
+}
+
+fn bench_store(c: &mut Criterion) {
+    let vars = VariableSet::default_toy();
+    let mut sim = ToyAtmosphere::new(ToyParams { nlat: 32, nlon: 64, ..Default::default() });
+    sim.spinup(5);
+    let snap = sim.render(&vars);
+    let layout = StoreLayout::new(32, 64, vars.len(), 8, 8);
+    let mut store = ChunkedStore::in_memory(layout);
+    store.append_snapshot(&snap).unwrap();
+    c.bench_function("store_read_window_8x8x25", |b| {
+        b.iter(|| black_box(store.read_window(0, 1, 3).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_sim, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks of the compute substrate: the kernels whose
+//! efficiency the analytical performance model parameterizes.
+
+use aeris_tensor::{matmul, matmul_nt, Rng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_function(format!("{n}x{n}x{n}"), |bch| {
+            bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+        });
+    }
+    // The attention-score shape: [tokens, hd] x [tokens, hd]^T.
+    let mut rng = Rng::seed_from(2);
+    let q = Tensor::randn(&[64, 16], &mut rng);
+    let k = Tensor::randn(&[64, 16], &mut rng);
+    group.bench_function("scores_qk_64x16", |bch| {
+        bch.iter(|| black_box(matmul_nt(black_box(&q), black_box(&k))))
+    });
+    group.finish();
+}
+
+fn bench_rowwise(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn(&[512, 64], &mut rng);
+    c.bench_function("softmax_rows_512x64", |b| {
+        b.iter(|| black_box(black_box(&x).softmax_rows()))
+    });
+    c.bench_function("bf16_round_512x64", |b| b.iter(|| black_box(black_box(&x).to_bf16())));
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let field: Vec<f32> = (0..32 * 64).map(|i| (i as f32 * 0.37).sin()).collect();
+    c.bench_function("fft2_32x64", |b| {
+        b.iter(|| black_box(aeris_tensor::fft::fft2_forward(black_box(&field), 32, 64)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_rowwise, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the AERIS model: forward pass, a full training
+//! step, one sampler solve — plus the architecture ablations DESIGN.md calls
+//! out (shifted vs unshifted attention, 1st- vs 2nd-order solver).
+
+use aeris_core::{AerisConfig, AerisModel, TrainSample, Trainer, TrainerConfig};
+use aeris_diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+use aeris_earthsim::Grid;
+use aeris_nn::LrSchedule;
+use aeris_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn tiny() -> AerisModel {
+    AerisModel::new(AerisConfig::test_tiny())
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let m = tiny();
+    let mut rng = Rng::seed_from(1);
+    let x_t = Tensor::randn(&[128, 4], &mut rng);
+    let prev = Tensor::randn(&[128, 4], &mut rng);
+    let forc = Tensor::randn(&[128, 3], &mut rng);
+    c.bench_function("aeris_forward_8x16_d16", |b| {
+        b.iter(|| black_box(m.velocity(black_box(&x_t), &prev, &forc, 0.7)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut model = tiny();
+    let grid = Grid::new(8, 16);
+    let mut rng = Rng::seed_from(2);
+    let sample = TrainSample {
+        x_prev: Tensor::randn(&[128, 4], &mut rng),
+        residual: Tensor::randn(&[128, 4], &mut rng),
+        forcings: Tensor::randn(&[128, 3], &mut rng),
+    };
+    let cfg = TrainerConfig {
+        schedule: LrSchedule { peak: 1e-3, warmup: 1, decay: 1, total: 1_000_000 },
+        batch: 1,
+        ema_halflife: 1000.0,
+        ..TrainerConfig::paper_scaled(1_000_000, 1)
+    };
+    let mut trainer = Trainer::new(&model, grid, &[1.0; 4], cfg);
+    c.bench_function("aeris_train_step_fwd_bwd_opt", |b| {
+        b.iter(|| black_box(trainer.train_step(&mut model, &[&sample])))
+    });
+}
+
+/// Ablation: solver order. 2S costs 2 network evals per step but halves the
+/// step count needed for the same accuracy (see sampler tests).
+fn bench_sampler_order(c: &mut Criterion) {
+    let m = tiny();
+    let mut rng = Rng::seed_from(3);
+    let prev = Tensor::randn(&[128, 4], &mut rng);
+    let forc = Tensor::randn(&[128, 3], &mut rng);
+    let mut group = c.benchmark_group("sampler_order");
+    for (label, second) in [("first_order_10", false), ("second_order_10", true)] {
+        let sampler = TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 10, churn: 0.1, second_order: second },
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut vel = |x: &Tensor, t: f32| m.velocity(x, &prev, &forc, t);
+                let mut r = Rng::seed_from(4);
+                black_box(sampler.sample(&[128, 4], &mut vel, &mut r))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: attention with and without the cyclic window shift (the shift
+/// adds only gather permutations — its cost should be marginal, which is the
+/// architectural argument for shifted windows over global attention).
+fn bench_shift_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_shift");
+    for (label, layers) in [("with_shift", 2usize), ("no_shift_single", 1)] {
+        let cfg = AerisConfig {
+            n_layers: layers,
+            blocks_per_layer: 1,
+            ..AerisConfig::test_tiny()
+        };
+        let m = AerisModel::new(cfg);
+        let mut rng = Rng::seed_from(5);
+        let x_t = Tensor::randn(&[128, 4], &mut rng);
+        let prev = Tensor::randn(&[128, 4], &mut rng);
+        let forc = Tensor::randn(&[128, 3], &mut rng);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(m.velocity(black_box(&x_t), &prev, &forc, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_step, bench_sampler_order, bench_shift_ablation);
+criterion_main!(benches);

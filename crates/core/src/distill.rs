@@ -1,0 +1,271 @@
+//! Consistency distillation (§VII-C of the paper).
+//!
+//! "Our diffusion parameterization also allows for consistency distillation
+//! [TrigFlow/sCM], which allows us to compress the model size and reduce
+//! inference to a single step, thereby lowering computational cost by orders
+//! of magnitude for generating new forecasts."
+//!
+//! This module implements discrete-time consistency distillation: a student
+//! (initialized from the teacher) is trained so that its denoised prediction
+//! `f(x_t, t) = cos(t)·x_t − sin(t)·v̂(x_t, t)` is constant along teacher ODE
+//! trajectories. After distillation a forecast step costs **one** network
+//! evaluation instead of `2·n_steps` (the DPMSolver++ 2S budget).
+
+use crate::forecast::Forecaster;
+use crate::model::AerisModel;
+use crate::training::TrainSample;
+use aeris_autodiff::Tape;
+use aeris_diffusion::TrigFlow;
+use aeris_earthsim::NormStats;
+use aeris_nn::{AdamW, AdamWConfig, Binding, Ema};
+use aeris_tensor::{Rng, Tensor};
+use rayon::prelude::*;
+
+/// Configuration for consistency distillation.
+#[derive(Clone, Copy, Debug)]
+pub struct DistillConfig {
+    /// Discretization points along the TrigFlow time axis.
+    pub n_times: usize,
+    /// Distillation steps (each one teacher ODE hop + one student update).
+    pub steps: usize,
+    pub lr: f32,
+    /// EMA half-life (in updates) for the distillation target network.
+    pub target_halflife: f64,
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig { n_times: 12, steps: 200, lr: 5e-4, target_halflife: 40.0, seed: 11 }
+    }
+}
+
+/// A distilled one-step forecaster.
+pub struct ConsistencyStudent {
+    pub model: AerisModel,
+    pub stats: NormStats,
+    pub res_stats: NormStats,
+    pub tf: TrigFlow,
+}
+
+impl ConsistencyStudent {
+    /// Distill `teacher` on conditioning/target pairs drawn from `samples`.
+    pub fn distill(
+        teacher: &Forecaster,
+        samples: &[TrainSample],
+        weights: &Tensor,
+        cfg: DistillConfig,
+    ) -> ConsistencyStudent {
+        assert!(!samples.is_empty());
+        let tf = teacher.sampler.tf;
+        // Student starts as a copy of the teacher.
+        let mut student = AerisModel::new(teacher.model.cfg.clone());
+        student.store.restore(&teacher.model.store.snapshot());
+        // EMA of the student provides the distillation target (stop-grad).
+        let mut target_ema = Ema::new(&student.store, cfg.target_halflife);
+        let mut opt = AdamW::new(&student.store, AdamWConfig { weight_decay: 0.0, ..Default::default() });
+        let mut rng = Rng::seed_from(cfg.seed);
+
+        // Log-uniform time grid matching the training prior, descending.
+        let grid: Vec<f32> = {
+            let lmin = tf.sigma_min.ln();
+            let lmax = tf.sigma_max.ln();
+            let mut ts: Vec<f32> = (0..cfg.n_times)
+                .map(|i| {
+                    let frac = i as f32 / (cfg.n_times - 1) as f32;
+                    tf.t_of_sigma((lmax + frac * (lmin - lmax)).exp())
+                })
+                .collect();
+            ts.push(0.0);
+            ts
+        };
+
+        let mut target_model = AerisModel::new(teacher.model.cfg.clone());
+        for _step in 0..cfg.steps {
+            let sample = &samples[rng.below(samples.len())];
+            // Pick an adjacent time pair (t_{n+1} > t_n).
+            let n = rng.below(cfg.n_times);
+            let (t_hi, t_lo) = (grid[n], grid[n + 1]);
+            let z = Tensor::randn(sample.residual.shape(), &mut rng);
+            let x_hi = tf.interpolate(&sample.residual, &z, t_hi);
+
+            // Teacher ODE hop t_hi → t_lo (one exact angular step with the
+            // teacher's velocity).
+            let v_teacher =
+                teacher.model.velocity(&x_hi, &sample.x_prev, &sample.forcings, t_hi);
+            let x_lo = tf.ode_step(&x_hi, &v_teacher, t_hi, t_lo);
+
+            // Target: the EMA student's denoised prediction at (x_lo, t_lo);
+            // at t_lo = 0 the target is x_lo itself (boundary condition).
+            target_ema.apply_to(&mut target_model.store);
+            let f_target = if t_lo > 0.0 {
+                let v = target_model.velocity(&x_lo, &sample.x_prev, &sample.forcings, t_lo);
+                tf.denoise(&x_lo, &v, t_lo)
+            } else {
+                x_lo
+            };
+
+            // Student update: match f_student(x_hi, t_hi) to the target.
+            // f = cos(t)·x_hi − sin(t)·v̂ ⇒ train v̂ toward
+            // (cos(t)·x_hi − f_target)/sin(t).
+            let (c, s) = (t_hi.cos(), t_hi.sin());
+            let v_target = x_hi.zip_map(&f_target, |x, f| (c * x - f) / s);
+            let input = student.assemble_input(&x_hi, &sample.x_prev, &sample.forcings);
+            let mut tape = Tape::new();
+            let mut binding = Binding::new(&student.store);
+            let iv = tape.constant(input);
+            let out = student.forward(&mut tape, &mut binding, iv, t_hi);
+            // The sin² factor converts velocity-space error back to
+            // consistency (denoised-space) error.
+            let w = weights.scale(s * s);
+            let loss = tape.weighted_mse(out, &v_target, &w);
+            let mut grads = tape.backward(loss);
+            let g = binding.collect_grads(&mut grads);
+            opt.step(&mut student.store, &g, cfg.lr);
+            target_ema.update(&student.store, 1.0);
+        }
+
+        ConsistencyStudent {
+            model: student,
+            stats: teacher.stats.clone(),
+            res_stats: teacher.res_stats.clone(),
+            tf,
+        }
+    }
+
+    /// One-network-evaluation forecast step: denoise pure noise at t = π/2.
+    pub fn forecast_step(&self, x_prev: &Tensor, forcings: &Tensor, rng: &mut Rng) -> Tensor {
+        let prev_std = self.stats.standardize(x_prev);
+        let t = self.tf.t_of_sigma(self.tf.sigma_max);
+        let noise = Tensor::randn(prev_std.shape(), rng).scale(self.tf.sigma_d);
+        let v = self.model.velocity(&noise, &prev_std, forcings, t);
+        let residual_std = self.tf.denoise(&noise, &v, t);
+        let mut next = x_prev.clone();
+        let (rows, cols) = (next.shape()[0], next.shape()[1]);
+        for r in 0..rows {
+            let row = next.row_mut(r);
+            for j in 0..cols {
+                row[j] += residual_std.at(&[r, j]) * self.res_stats.std[j] + self.res_stats.mean[j];
+            }
+        }
+        next
+    }
+
+    /// Single-step autoregressive rollout.
+    pub fn rollout(
+        &self,
+        x0: &Tensor,
+        forcings: &dyn Fn(usize) -> Tensor,
+        steps: usize,
+        rng: &mut Rng,
+    ) -> Vec<Tensor> {
+        let mut states = Vec::with_capacity(steps);
+        let mut x = x0.clone();
+        for k in 0..steps {
+            x = self.forecast_step(&x, &forcings(k), rng);
+            states.push(x.clone());
+        }
+        states
+    }
+
+    /// Ensemble of one-step rollouts.
+    pub fn ensemble(
+        &self,
+        x0: &Tensor,
+        forcings: &(dyn Fn(usize) -> Tensor + Sync),
+        steps: usize,
+        n_members: usize,
+        base_seed: u64,
+    ) -> Vec<Vec<Tensor>> {
+        (0..n_members)
+            .into_par_iter()
+            .map(|m| {
+                let mut rng = Rng::seed_from(base_seed).stream(m as u64 + 1);
+                self.rollout(x0, &forcings, steps, &mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AerisConfig;
+    use crate::forecast::Forecaster;
+    use aeris_diffusion::{SamplerConfig, TrigFlowSampler};
+
+    fn make_teacher_and_samples() -> (Forecaster, Vec<TrainSample>, Tensor) {
+        let cfg = AerisConfig::test_tiny();
+        let channels = cfg.channels;
+        let mut model = AerisModel::new(cfg);
+        // Nudge the decoder so the teacher is nontrivial.
+        let mut rng = Rng::seed_from(8);
+        let shape = model.store.get(model.decode.w).shape().to_vec();
+        let dw = Tensor::randn(&shape, &mut rng).scale(0.05);
+        model.store.get_mut(model.decode.w).add_assign(&dw);
+        let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
+        let teacher = Forecaster {
+            model,
+            stats: stats.clone(),
+            res_stats: stats,
+            sampler: TrigFlowSampler::new(
+                TrigFlow::default(),
+                SamplerConfig { n_steps: 4, churn: 0.0, second_order: true },
+            ),
+        };
+        let samples: Vec<TrainSample> = (0..4)
+            .map(|_| TrainSample {
+                x_prev: Tensor::randn(&[128, 4], &mut rng),
+                residual: Tensor::randn(&[128, 4], &mut rng).scale(0.5),
+                forcings: Tensor::randn(&[128, 3], &mut rng),
+            })
+            .collect();
+        let weights = Tensor::ones(&[128, 4]);
+        (teacher, samples, weights)
+    }
+
+    #[test]
+    fn distillation_runs_and_student_forecasts_in_one_step() {
+        let (teacher, samples, weights) = make_teacher_and_samples();
+        let cfg = DistillConfig { steps: 12, n_times: 6, ..Default::default() };
+        let student = ConsistencyStudent::distill(&teacher, &samples, &weights, cfg);
+        let mut rng = Rng::seed_from(3);
+        let next = student.forecast_step(&samples[0].x_prev, &samples[0].forcings, &mut rng);
+        assert_eq!(next.shape(), samples[0].x_prev.shape());
+        assert!(next.all_finite());
+        // Rollout works and members differ.
+        let forc = |_k: usize| Tensor::zeros(&[128, 3]);
+        let ens = student.ensemble(&samples[0].x_prev, &forc, 2, 2, 5);
+        assert!(ens[0][1].max_abs_diff(&ens[1][1]) > 1e-7);
+    }
+
+    #[test]
+    fn student_initialization_matches_teacher() {
+        let (teacher, samples, weights) = make_teacher_and_samples();
+        // Zero distillation steps → student == teacher weights.
+        let cfg = DistillConfig { steps: 0, ..Default::default() };
+        let student = ConsistencyStudent::distill(&teacher, &samples, &weights, cfg);
+        for (id, _, v) in teacher.model.store.iter() {
+            assert_eq!(student.model.store.get(id), v);
+        }
+    }
+
+    /// The point of distillation: a forecast step is one network evaluation
+    /// vs 2·n_steps for the teacher — verify by counting evaluations through
+    /// an instrumented velocity closure on the teacher path.
+    #[test]
+    fn teacher_uses_many_evals_student_one() {
+        let (teacher, samples, _) = make_teacher_and_samples();
+        let mut count = 0usize;
+        let prev = teacher.stats.standardize(&samples[0].x_prev);
+        let mut vel = |x: &Tensor, t: f32| {
+            count += 1;
+            teacher.model.velocity(x, &prev, &samples[0].forcings, t)
+        };
+        let mut rng = Rng::seed_from(4);
+        let _ = teacher.sampler.sample(&[128, 4], &mut vel, &mut rng);
+        assert!(count >= 8, "teacher used {count} evals");
+        // The student's step is definitionally a single `velocity` call (see
+        // `forecast_step`), an order-of-magnitude latency reduction.
+    }
+}

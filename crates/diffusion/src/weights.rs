@@ -1,0 +1,58 @@
+//! The physically weighted loss mask of Eq. 2: per-token latitude weights
+//! α(s) times per-channel variable/pressure weights κ(v), normalized so the
+//! weighted objective has the same overall scale as the unweighted one.
+
+use aeris_tensor::Tensor;
+
+/// Build the `[tokens, channels]` loss-weight tensor from per-token latitude
+/// weights and per-channel κ values. The product is renormalized to mean 1.
+pub fn loss_weights(token_lat_weights: &[f32], kappa: &[f32]) -> Tensor {
+    let tokens = token_lat_weights.len();
+    let channels = kappa.len();
+    assert!(tokens > 0 && channels > 0);
+    let mut out = Tensor::zeros(&[tokens, channels]);
+    let mut sum = 0.0f64;
+    for (r, &a) in token_lat_weights.iter().enumerate() {
+        let row = out.row_mut(r);
+        for (j, &k) in kappa.iter().enumerate() {
+            let w = a * k;
+            row[j] = w;
+            sum += w as f64;
+        }
+    }
+    let norm = (tokens * channels) as f64 / sum;
+    out.scale_inplace(norm as f32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_one() {
+        let lat = vec![0.5, 1.0, 1.5];
+        let kappa = vec![2.0, 0.5];
+        let w = loss_weights(&lat, &kappa);
+        assert_eq!(w.shape(), &[3, 2]);
+        assert!((w.mean() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proportionality_structure() {
+        let lat = vec![1.0, 2.0];
+        let kappa = vec![1.0, 3.0];
+        let w = loss_weights(&lat, &kappa);
+        // ratios preserved: w[1][j]/w[0][j] = 2, w[i][1]/w[i][0] = 3.
+        assert!((w.at(&[1, 0]) / w.at(&[0, 0]) - 2.0).abs() < 1e-6);
+        assert!((w.at(&[0, 1]) / w.at(&[0, 0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_inputs_give_uniform_weights() {
+        let w = loss_weights(&[1.0; 10], &[1.0; 4]);
+        for v in w.data() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+}

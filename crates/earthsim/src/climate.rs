@@ -1,0 +1,303 @@
+//! Climatological background fields and external forcings.
+//!
+//! Provides the equilibrium profiles the toy dynamics relax toward (seasonal
+//! temperature, SST, zonal jets) and the three forcing inputs the paper feeds
+//! its model (§VI-B): top-of-atmosphere solar radiation, surface geopotential
+//! (orography), and the land-sea mask. Continents and orography are procedural
+//! (seeded value noise) so every configuration is self-contained.
+
+use crate::grid::Grid;
+use aeris_tensor::Rng;
+
+/// Days per toy year. A round number keeps seasonal phase arithmetic exact.
+pub const YEAR_DAYS: f64 = 360.0;
+
+/// Climatology + forcings for a grid.
+#[derive(Clone, Debug)]
+pub struct Climate {
+    grid: Grid,
+    /// 1 over land, 0 over ocean.
+    pub land_mask: Vec<f32>,
+    /// Surface geopotential (m²/s²), zero over ocean.
+    pub orography: Vec<f32>,
+}
+
+impl Climate {
+    /// Build procedural continents/orography from a seed.
+    pub fn new(grid: Grid, seed: u64) -> Self {
+        let rng = Rng::seed_from(seed);
+        let noise = value_noise(grid, &rng.stream(0xC0_17), 3);
+        let mut land_mask = vec![0.0f32; grid.tokens()];
+        let mut orography = vec![0.0f32; grid.tokens()];
+        for r in 0..grid.nlat {
+            let lat = grid.lat_deg(r);
+            for c in 0..grid.nlon {
+                let i = grid.index(r, c);
+                // More land at mid/high northern latitudes, less in the
+                // southern ocean — loosely Earth-like.
+                let bias = 0.08 * (lat / 30.0).tanh();
+                if noise[i] + bias > 0.08 {
+                    land_mask[i] = 1.0;
+                    // Orography: squared excess noise, up to ~3 km (g·h).
+                    let h = ((noise[i] + bias - 0.08) * 14.0).min(1.0);
+                    orography[i] = 9.81 * 3000.0 * h * h;
+                }
+            }
+        }
+        Climate { grid, land_mask, orography }
+    }
+
+    /// Seasonal phase in radians for a day-of-year; 0 = NH winter solstice.
+    fn season_phase(day: f64) -> f64 {
+        2.0 * std::f64::consts::PI * (day % YEAR_DAYS) / YEAR_DAYS
+    }
+
+    /// Solar declination proxy (degrees) for a day-of-year.
+    pub fn declination(day: f64) -> f32 {
+        (-23.44 * Self::season_phase(day).cos()) as f32
+    }
+
+    /// Top-of-atmosphere insolation (W/m², daily mean) at a latitude.
+    pub fn toa_solar(lat_deg: f32, day: f64) -> f32 {
+        let decl = Self::declination(day).to_radians();
+        let lat = lat_deg.to_radians();
+        // Daily-mean insolation approximation: S0/π (h0 sinφ sinδ + cos h0 ...)
+        // reduced to a smooth analytic proxy that preserves the seasonal and
+        // latitudinal structure.
+        let mu = (lat.sin() * decl.sin() + lat.cos() * decl.cos() * 0.636).max(0.0);
+        1361.0 * 0.5 * mu
+    }
+
+    /// Equilibrium near-surface air temperature (K).
+    pub fn t2m_eq(&self, r: usize, c: usize, day: f64) -> f32 {
+        let lat = self.grid.lat_deg(r);
+        let phase = Self::season_phase(day);
+        let seasonal = -(phase.cos() as f32) * 14.0 * (lat.to_radians().sin());
+        let i = self.grid.index(r, c);
+        // Land amplifies the seasonal cycle; altitude cools.
+        let land = self.land_mask[i];
+        let altitude_cool = self.orography[i] / 9.81 * 0.0065;
+        288.0 - 35.0 * (lat.to_radians().sin().powi(2)) + seasonal * (0.5 + 0.8 * land)
+            - altitude_cool
+    }
+
+    /// Equilibrium SST (K); over land returns the freezing-damped value the
+    /// slab relaxes to (unused by diagnostics).
+    pub fn sst_eq(&self, r: usize, _c: usize, day: f64) -> f32 {
+        let lat = self.grid.lat_deg(r);
+        let phase = Self::season_phase(day);
+        // Ocean lags the season by ~1/8 year and has a weaker cycle.
+        let seasonal = -((phase - 0.8).cos() as f32) * 4.0 * lat.to_radians().sin();
+        let base = 300.0 - 27.0 * (lat.to_radians().sin().powi(2));
+        (base + seasonal).max(271.4)
+    }
+
+    /// Equilibrium upper-air temperature at a pressure level (K).
+    pub fn t_level_eq(&self, r: usize, c: usize, level_hpa: u32, day: f64) -> f32 {
+        // Standard-atmosphere lapse from the surface value.
+        let t_sfc = self.t2m_eq(r, c, day);
+        let dz = height_of_level(level_hpa);
+        (t_sfc - 0.0065 * dz).max(200.0)
+    }
+
+    /// Climatological zonal wind at a level (m/s): subtropical westerly jets,
+    /// weak tropical easterlies.
+    pub fn u_jet(&self, r: usize, level_hpa: u32) -> f32 {
+        let lat = self.grid.lat_deg(r).to_radians();
+        // Jets at ±40°, scaled with height (stronger aloft).
+        let jet = (2.0 * lat).sin().powi(2) * lat.cos();
+        let amp = jet_amp(level_hpa);
+        let easterly = -3.0 * lat.cos().powi(8);
+        amp * jet + easterly
+    }
+
+    /// Climatological geopotential at a level (m²/s²).
+    pub fn z_level_eq(&self, r: usize, level_hpa: u32, day: f64) -> f32 {
+        let base = 9.81 * height_of_level(level_hpa);
+        // Pole-to-equator thickness gradient with a seasonal swing.
+        let lat = self.grid.lat_deg(r).to_radians();
+        let phase = Self::season_phase(day);
+        let thickness = -(lat.sin().powi(2)) * (0.045 * base)
+            - (phase.cos() as f32) * lat.sin() * 0.004 * base;
+        base + thickness
+    }
+
+    /// Climatological specific humidity at a level (g/kg), Clausius-Clapeyron
+    /// flavored: moist tropics, dry aloft.
+    pub fn q_level_eq(&self, r: usize, c: usize, level_hpa: u32, day: f64) -> f32 {
+        let t = self.t_level_eq(r, c, level_hpa, day);
+        // Saturation-ish: q ∝ exp(0.07(T - 273)) scaled by pressure depth.
+        let scale = level_hpa as f32 / 1000.0;
+        (14.0 * (0.065 * (t - 288.0)).exp() * scale * scale).min(25.0)
+    }
+
+    /// The grid this climate was built for.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+}
+
+/// Approximate geometric height (m) of a pressure level (standard atmosphere).
+pub fn height_of_level(level_hpa: u32) -> f32 {
+    // h = H ln(p0/p) with scale height ~7.6 km fitted to the troposphere.
+    7600.0 * (1013.0 / level_hpa as f32).ln()
+}
+
+/// Jet amplitude (m/s) by level: stronger aloft.
+fn jet_amp(level_hpa: u32) -> f32 {
+    match level_hpa {
+        l if l >= 850 => 12.0,
+        l if l >= 700 => 16.0,
+        l if l >= 500 => 24.0,
+        _ => 38.0,
+    }
+}
+
+/// Smooth periodic value noise in `[-0.5, 0.5]` on the grid: random values on
+/// a coarse lattice, cosine-interpolated, octaves summed.
+pub fn value_noise(grid: Grid, rng: &Rng, octaves: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; grid.tokens()];
+    let mut amp = 0.5f32;
+    let mut total = 0.0f32;
+    for oct in 0..octaves {
+        let cells = 4 << oct; // lattice resolution per octave
+        let mut lattice = vec![0.0f32; cells * cells];
+        let mut r = rng.stream(oct as u64 + 1);
+        for v in &mut lattice {
+            *v = r.next_f32() - 0.5;
+        }
+        for row in 0..grid.nlat {
+            let fy = row as f32 / grid.nlat as f32 * cells as f32;
+            let y0 = fy.floor() as usize % cells;
+            let y1 = (y0 + 1) % cells;
+            let ty = smooth(fy.fract());
+            for col in 0..grid.nlon {
+                let fx = col as f32 / grid.nlon as f32 * cells as f32;
+                let x0 = fx.floor() as usize % cells;
+                let x1 = (x0 + 1) % cells;
+                let tx = smooth(fx.fract());
+                let v00 = lattice[y0 * cells + x0];
+                let v01 = lattice[y0 * cells + x1];
+                let v10 = lattice[y1 * cells + x0];
+                let v11 = lattice[y1 * cells + x1];
+                let v = v00 * (1.0 - tx) * (1.0 - ty)
+                    + v01 * tx * (1.0 - ty)
+                    + v10 * (1.0 - tx) * ty
+                    + v11 * tx * ty;
+                out[grid.index(row, col)] += amp * v;
+            }
+        }
+        total += amp;
+        amp *= 0.5;
+    }
+    for v in &mut out {
+        *v /= total;
+    }
+    out
+}
+
+#[inline]
+fn smooth(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> (Grid, Climate) {
+        let g = Grid::new(32, 64);
+        (g, Climate::new(g, 7))
+    }
+
+    #[test]
+    fn land_fraction_is_reasonable() {
+        let (g, c) = make();
+        let frac: f32 = c.land_mask.iter().sum::<f32>() / g.tokens() as f32;
+        assert!((0.1..0.6).contains(&frac), "land fraction {frac}");
+    }
+
+    #[test]
+    fn orography_only_over_land() {
+        let (g, c) = make();
+        for i in 0..g.tokens() {
+            if c.land_mask[i] == 0.0 {
+                assert_eq!(c.orography[i], 0.0);
+            }
+            assert!(c.orography[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tropics_warmer_than_poles() {
+        let (g, c) = make();
+        let eq = c.t2m_eq(g.nlat / 2, 0, 90.0);
+        let pole = c.t2m_eq(0, 0, 90.0);
+        assert!(eq > pole + 15.0, "equator {eq} pole {pole}");
+    }
+
+    #[test]
+    fn seasons_flip_between_hemispheres() {
+        let (g, c) = make();
+        // NH summer (day 180): northern row warmer than at NH winter (day 0).
+        let n_summer = c.t2m_eq(2, 0, 180.0);
+        let n_winter = c.t2m_eq(2, 0, 0.0);
+        assert!(n_summer > n_winter);
+        let s_summer = c.t2m_eq(g.nlat - 3, 0, 0.0);
+        let s_winter = c.t2m_eq(g.nlat - 3, 0, 180.0);
+        assert!(s_summer > s_winter);
+    }
+
+    #[test]
+    fn sst_bounded_below_by_freezing() {
+        let (g, c) = make();
+        for r in 0..g.nlat {
+            assert!(c.sst_eq(r, 0, 50.0) >= 271.4);
+        }
+    }
+
+    #[test]
+    fn solar_follows_declination() {
+        // NH summer: high-lat north gets more sun than at winter.
+        let summer = Climate::toa_solar(60.0, 180.0);
+        let winter = Climate::toa_solar(60.0, 0.0);
+        assert!(summer > winter);
+        assert!(Climate::toa_solar(0.0, 90.0) > 0.0);
+    }
+
+    #[test]
+    fn jet_structure() {
+        let (g, c) = make();
+        // Westerly maximum in midlatitudes at 250 hPa.
+        let mid = g.row_of_lat(40.0);
+        let eq = g.nlat / 2;
+        assert!(c.u_jet(mid, 250) > 15.0);
+        assert!(c.u_jet(mid, 250) > c.u_jet(mid, 850));
+        assert!(c.u_jet(eq, 850) < 1.0, "tropical easterlies at the surface");
+    }
+
+    #[test]
+    fn humidity_moist_tropics_dry_aloft() {
+        let (g, c) = make();
+        let eq = g.nlat / 2;
+        let pole = 1;
+        assert!(c.q_level_eq(eq, 0, 850, 90.0) > c.q_level_eq(pole, 0, 850, 90.0));
+        assert!(c.q_level_eq(eq, 0, 850, 90.0) > c.q_level_eq(eq, 0, 250, 90.0));
+    }
+
+    #[test]
+    fn z500_decreases_poleward() {
+        let (g, c) = make();
+        assert!(c.z_level_eq(g.nlat / 2, 500, 90.0) > c.z_level_eq(0, 500, 90.0));
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let g = Grid::new(16, 32);
+        let rng = Rng::seed_from(5);
+        let a = value_noise(g, &rng, 3);
+        let b = value_noise(g, &rng, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.abs() <= 0.5 + 1e-5));
+    }
+}

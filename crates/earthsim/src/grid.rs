@@ -1,0 +1,214 @@
+//! Lat-lon grid geometry.
+//!
+//! Mirrors the ERA5 equiangular grid with poles removed (the paper trains on a
+//! 720×1440 pole-trimmed grid): `nlat` latitude rows centered between the
+//! poles, `nlon` longitude columns covering 0..360°E. Row 0 is the
+//! northernmost latitude, matching the row-major token layout used everywhere.
+
+/// An equiangular global grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    /// Latitude rows (north to south).
+    pub nlat: usize,
+    /// Longitude columns (0°E eastward).
+    pub nlon: usize,
+}
+
+/// A lat-lon box used for region diagnostics (Niño 3.4, Gulf of Mexico, …).
+#[derive(Clone, Copy, Debug)]
+pub struct Region {
+    pub lat_min: f32,
+    pub lat_max: f32,
+    pub lon_min: f32,
+    pub lon_max: f32,
+}
+
+/// Niño 3.4 region: 5°S–5°N, 170°W–120°W.
+pub const NINO34: Region = Region { lat_min: -5.0, lat_max: 5.0, lon_min: 190.0, lon_max: 240.0 };
+
+/// Equatorial band used for Hovmöller averaging: 10°S–10°N (paper Fig. 7c).
+pub const EQUATORIAL_BAND: Region = Region { lat_min: -10.0, lat_max: 10.0, lon_min: 0.0, lon_max: 360.0 };
+
+impl Grid {
+    /// Construct a grid.
+    pub fn new(nlat: usize, nlon: usize) -> Self {
+        assert!(nlat >= 2 && nlon >= 2);
+        Grid { nlat, nlon }
+    }
+
+    /// Total grid cells (tokens).
+    pub fn tokens(&self) -> usize {
+        self.nlat * self.nlon
+    }
+
+    /// Latitude (degrees) of row `r`, pole-trimmed: row centers run from
+    /// `+90 - Δ/2` down to `-90 + Δ/2`.
+    pub fn lat_deg(&self, r: usize) -> f32 {
+        let dlat = 180.0 / self.nlat as f32;
+        90.0 - dlat * (r as f32 + 0.5)
+    }
+
+    /// Longitude (degrees east) of column `c`.
+    pub fn lon_deg(&self, c: usize) -> f32 {
+        360.0 * c as f32 / self.nlon as f32
+    }
+
+    /// Flattened token index of `(row, col)`.
+    #[inline]
+    pub fn index(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.nlat && c < self.nlon);
+        r * self.nlon + c
+    }
+
+    /// `(row, col)` of a flattened token index.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx / self.nlon, idx % self.nlon)
+    }
+
+    /// Row closest to a latitude.
+    pub fn row_of_lat(&self, lat: f32) -> usize {
+        let dlat = 180.0 / self.nlat as f32;
+        let r = ((90.0 - lat) / dlat - 0.5).round();
+        (r.max(0.0) as usize).min(self.nlat - 1)
+    }
+
+    /// Column closest to a longitude (wrapped to 0..360).
+    pub fn col_of_lon(&self, lon: f32) -> usize {
+        let l = lon.rem_euclid(360.0);
+        let c = (l / 360.0 * self.nlon as f32).round() as usize;
+        c % self.nlon
+    }
+
+    /// Latitude area weights `cos(φ)` per row, normalized to mean 1 — the
+    /// standard WeatherBench latitude weighting α(s).
+    pub fn lat_weights(&self) -> Vec<f32> {
+        let mut w: Vec<f32> = (0..self.nlat)
+            .map(|r| self.lat_deg(r).to_radians().cos())
+            .collect();
+        let mean: f32 = w.iter().sum::<f32>() / self.nlat as f32;
+        for v in &mut w {
+            *v /= mean;
+        }
+        w
+    }
+
+    /// Per-token latitude weights (row weight broadcast over columns).
+    pub fn token_lat_weights(&self) -> Vec<f32> {
+        let row_w = self.lat_weights();
+        let mut out = Vec::with_capacity(self.tokens());
+        for r in 0..self.nlat {
+            out.extend(std::iter::repeat_n(row_w[r], self.nlon));
+        }
+        out
+    }
+
+    /// All token indices inside a region box. If the grid is too coarse for
+    /// any row (or column) center to fall inside the box, the nearest row
+    /// (column) to the box center is used instead, so region diagnostics stay
+    /// defined at toy resolutions.
+    pub fn region_tokens(&self, region: &Region) -> Vec<usize> {
+        let mut rows: Vec<usize> = (0..self.nlat)
+            .filter(|&r| {
+                let lat = self.lat_deg(r);
+                lat >= region.lat_min && lat <= region.lat_max
+            })
+            .collect();
+        if rows.is_empty() {
+            rows.push(self.row_of_lat(0.5 * (region.lat_min + region.lat_max)));
+        }
+        let mut cols: Vec<usize> = (0..self.nlon)
+            .filter(|&c| {
+                let lon = self.lon_deg(c);
+                lon >= region.lon_min && lon <= region.lon_max
+            })
+            .collect();
+        if cols.is_empty() {
+            cols.push(self.col_of_lon(0.5 * (region.lon_min + region.lon_max)));
+        }
+        let mut out = Vec::with_capacity(rows.len() * cols.len());
+        for &r in &rows {
+            for &c in &cols {
+                out.push(self.index(r, c));
+            }
+        }
+        out
+    }
+
+    /// Area-weighted mean of a `[tokens]` field over a region.
+    pub fn region_mean(&self, field: &[f32], region: &Region) -> f32 {
+        let toks = self.region_tokens(region);
+        assert!(!toks.is_empty(), "region contains no grid cells");
+        let w = self.token_lat_weights();
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for &t in &toks {
+            num += (field[t] * w[t]) as f64;
+            den += w[t] as f64;
+        }
+        (num / den) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latitudes_are_pole_trimmed_and_monotone() {
+        let g = Grid::new(8, 16);
+        assert!(g.lat_deg(0) < 90.0);
+        assert!(g.lat_deg(7) > -90.0);
+        assert!((g.lat_deg(0) + g.lat_deg(7)).abs() < 1e-4, "symmetric about equator");
+        for r in 1..8 {
+            assert!(g.lat_deg(r) < g.lat_deg(r - 1));
+        }
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = Grid::new(4, 8);
+        for idx in 0..g.tokens() {
+            let (r, c) = g.coords(idx);
+            assert_eq!(g.index(r, c), idx);
+        }
+    }
+
+    #[test]
+    fn row_col_lookup() {
+        let g = Grid::new(32, 64);
+        assert_eq!(g.row_of_lat(g.lat_deg(5)), 5);
+        assert_eq!(g.col_of_lon(g.lon_deg(17)), 17);
+        assert_eq!(g.col_of_lon(-90.0), g.col_of_lon(270.0));
+    }
+
+    #[test]
+    fn lat_weights_mean_one_and_equator_heaviest() {
+        let g = Grid::new(16, 4);
+        let w = g.lat_weights();
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!((mean - 1.0).abs() < 1e-5);
+        let eq = w[7].max(w[8]);
+        assert!(w.iter().all(|&x| x <= eq + 1e-6));
+    }
+
+    #[test]
+    fn nino34_region_is_equatorial_pacific() {
+        let g = Grid::new(32, 64);
+        let toks = g.region_tokens(&NINO34);
+        assert!(!toks.is_empty());
+        for &t in &toks {
+            let (r, c) = g.coords(t);
+            assert!(g.lat_deg(r).abs() <= 5.0 + 6.0); // within grid resolution
+            let lon = g.lon_deg(c);
+            assert!((190.0..=240.0).contains(&lon));
+        }
+    }
+
+    #[test]
+    fn region_mean_of_constant_field() {
+        let g = Grid::new(16, 32);
+        let field = vec![3.5f32; g.tokens()];
+        assert!((g.region_mean(&field, &NINO34) - 3.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,294 @@
+//! Spectral operators on the doubly periodic model domain.
+//!
+//! The toy dynamical core treats the pole-trimmed lat-lon grid as a torus
+//! (periodic in longitude — physically exact — and in latitude — an accepted
+//! toy-model approximation, documented in DESIGN.md). That buys an exact and
+//! fast spectral Poisson inversion ψ = ∇⁻²ζ, spectral derivatives for the
+//! pseudo-spectral Jacobian, and an implicit hyperdiffusion filter.
+
+use aeris_tensor::fft::{fft2_forward, fft2_inverse};
+use aeris_tensor::Rng;
+
+/// Cached wavenumber tables for an `ny × nx` grid spanning `ly × lx` meters.
+#[derive(Clone, Debug)]
+pub struct Spectral {
+    pub ny: usize,
+    pub nx: usize,
+    /// Signed zonal wavenumbers (rad/m) per column.
+    kx: Vec<f64>,
+    /// Signed meridional wavenumbers (rad/m) per row.
+    ky: Vec<f64>,
+    /// |k|² per (row, col).
+    k2: Vec<f64>,
+}
+
+/// A field in spectral space.
+pub struct Spec {
+    pub re: Vec<f64>,
+    pub im: Vec<f64>,
+}
+
+impl Spectral {
+    /// Build tables. Both dims must be powers of two (FFT requirement).
+    pub fn new(ny: usize, nx: usize, ly: f64, lx: f64) -> Self {
+        assert!(ny.is_power_of_two() && nx.is_power_of_two(), "grid dims must be powers of two");
+        let kx: Vec<f64> = (0..nx)
+            .map(|m| {
+                let s = if m <= nx / 2 { m as f64 } else { m as f64 - nx as f64 };
+                2.0 * std::f64::consts::PI * s / lx
+            })
+            .collect();
+        let ky: Vec<f64> = (0..ny)
+            .map(|l| {
+                let s = if l <= ny / 2 { l as f64 } else { l as f64 - ny as f64 };
+                2.0 * std::f64::consts::PI * s / ly
+            })
+            .collect();
+        let mut k2 = vec![0.0f64; ny * nx];
+        for r in 0..ny {
+            for c in 0..nx {
+                k2[r * nx + c] = ky[r] * ky[r] + kx[c] * kx[c];
+            }
+        }
+        Spectral { ny, nx, kx, ky, k2 }
+    }
+
+    /// Forward transform of a real field.
+    pub fn forward(&self, field: &[f32]) -> Spec {
+        let (re, im) = fft2_forward(field, self.ny, self.nx);
+        Spec { re, im }
+    }
+
+    /// Inverse transform to a real field.
+    pub fn inverse(&self, mut s: Spec) -> Vec<f32> {
+        fft2_inverse(&mut s.re, &mut s.im, self.ny, self.nx)
+    }
+
+    /// ∂/∂x in spectral space (multiply by i·kx).
+    pub fn ddx(&self, s: &Spec) -> Spec {
+        let mut re = vec![0.0; self.ny * self.nx];
+        let mut im = vec![0.0; self.ny * self.nx];
+        for r in 0..self.ny {
+            for c in 0..self.nx {
+                let i = r * self.nx + c;
+                re[i] = -s.im[i] * self.kx[c];
+                im[i] = s.re[i] * self.kx[c];
+            }
+        }
+        Spec { re, im }
+    }
+
+    /// ∂/∂y in spectral space (multiply by i·ky).
+    pub fn ddy(&self, s: &Spec) -> Spec {
+        let mut re = vec![0.0; self.ny * self.nx];
+        let mut im = vec![0.0; self.ny * self.nx];
+        for r in 0..self.ny {
+            let k = self.ky[r];
+            for c in 0..self.nx {
+                let i = r * self.nx + c;
+                re[i] = -s.im[i] * k;
+                im[i] = s.re[i] * k;
+            }
+        }
+        Spec { re, im }
+    }
+
+    /// Inverse Laplacian ψ = ∇⁻²ζ (spectral division by −|k|²; mean mode 0).
+    pub fn inv_laplacian(&self, s: &Spec) -> Spec {
+        let mut re = vec![0.0; self.ny * self.nx];
+        let mut im = vec![0.0; self.ny * self.nx];
+        for i in 0..self.ny * self.nx {
+            if self.k2[i] > 0.0 {
+                re[i] = -s.re[i] / self.k2[i];
+                im[i] = -s.im[i] / self.k2[i];
+            }
+        }
+        Spec { re, im }
+    }
+
+    /// Scale-selective damping + dealiasing, the stabilizer of the toy core:
+    /// multiplies each mode by `exp(-efolds · (|k|²/|k|²max)⁴)` (an ∇⁸-style
+    /// hyperdiffusion expressed dimensionlessly as e-folds at the grid scale)
+    /// and zeroes modes beyond the 2/3 rule to kill aliasing from the
+    /// pseudo-spectral products.
+    pub fn damp_small_scales(&self, field: &mut [f32], efolds: f64) {
+        let k2max = self.k2.iter().copied().fold(0.0, f64::max);
+        let kx_cut = self.kx.iter().fold(0.0f64, |m, &k| m.max(k.abs())) * (2.0 / 3.0);
+        let ky_cut = self.ky.iter().fold(0.0f64, |m, &k| m.max(k.abs())) * (2.0 / 3.0);
+        let mut s = self.forward(field);
+        for r in 0..self.ny {
+            for c in 0..self.nx {
+                let i = r * self.nx + c;
+                if self.kx[c].abs() > kx_cut || self.ky[r].abs() > ky_cut {
+                    s.re[i] = 0.0;
+                    s.im[i] = 0.0;
+                    continue;
+                }
+                let ratio = self.k2[i] / k2max;
+                let f = (-efolds * ratio * ratio * ratio * ratio).exp();
+                s.re[i] *= f;
+                s.im[i] *= f;
+            }
+        }
+        let out = self.inverse(s);
+        field.copy_from_slice(&out);
+    }
+
+    /// Exact integrator for the linear Rossby term `ζ_t = -β ψ_x` (with
+    /// ψ = ∇⁻²ζ): each mode acquires the phase `exp(i β kx / |k|² · dt)`,
+    /// i.e. pure westward propagation with no amplitude change. Treating this
+    /// term exactly removes the stiffest frequency from the explicit step
+    /// (planetary Rossby modes have ω·dt ≈ 1.5 at a 3-hour step, far outside
+    /// the RK2 stability region).
+    pub fn rossby_rotate(&self, field: &mut [f32], beta: f64, dt: f64) {
+        let mut s = self.forward(field);
+        for r in 0..self.ny {
+            for c in 0..self.nx {
+                let i = r * self.nx + c;
+                if self.k2[i] == 0.0 {
+                    continue;
+                }
+                let omega = beta * self.kx[c] / self.k2[i];
+                let (sin, cos) = (omega * dt).sin_cos();
+                let (re, im) = (s.re[i], s.im[i]);
+                s.re[i] = re * cos - im * sin;
+                s.im[i] = re * sin + im * cos;
+            }
+        }
+        let out = self.inverse(s);
+        field.copy_from_slice(&out);
+    }
+
+    /// Band-limited random field: unit-variance white noise restricted to
+    /// total wavenumber indices `[kmin, kmax]` (in units of the gravest mode),
+    /// scaled by `amp`.
+    pub fn band_noise(&self, rng: &mut Rng, kmin: usize, kmax: usize, amp: f32) -> Vec<f32> {
+        let mut white = vec![0.0f32; self.ny * self.nx];
+        for v in &mut white {
+            *v = rng.normal();
+        }
+        let mut s = self.forward(&white);
+        let kx0 = 2.0 * std::f64::consts::PI / (self.nx as f64 * self.dx_unit());
+        for r in 0..self.ny {
+            for c in 0..self.nx {
+                let i = r * self.nx + c;
+                let kk = (self.k2[i]).sqrt() / kx0;
+                let keep = kk >= kmin as f64 && kk <= kmax as f64;
+                if !keep {
+                    s.re[i] = 0.0;
+                    s.im[i] = 0.0;
+                }
+            }
+        }
+        let mut field = self.inverse(s);
+        // Normalize to unit rms, then scale.
+        let ms: f64 = field.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+            / field.len() as f64;
+        let norm = if ms > 0.0 { amp as f64 / ms.sqrt() } else { 0.0 };
+        for v in &mut field {
+            *v = (*v as f64 * norm) as f32;
+        }
+        field
+    }
+
+    fn dx_unit(&self) -> f64 {
+        2.0 * std::f64::consts::PI / (self.kx[1].abs() * self.nx as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> Spectral {
+        Spectral::new(16, 32, 2.0e7, 4.0e7)
+    }
+
+    #[test]
+    fn derivative_of_a_sine_is_exact() {
+        let sp = make();
+        let lx = 4.0e7;
+        let k = 3.0;
+        let field: Vec<f32> = (0..16 * 32)
+            .map(|i| {
+                let c = i % 32;
+                (2.0 * std::f64::consts::PI * k * c as f64 / 32.0).sin() as f32
+            })
+            .collect();
+        let s = sp.forward(&field);
+        let dx = sp.inverse(sp.ddx(&s));
+        let kphys = 2.0 * std::f64::consts::PI * k / lx;
+        for i in 0..field.len() {
+            let c = i % 32;
+            let expected = kphys * (2.0 * std::f64::consts::PI * k * c as f64 / 32.0).cos();
+            assert!((dx[i] as f64 - expected).abs() < 1e-9, "at {i}");
+        }
+    }
+
+    #[test]
+    fn inv_laplacian_inverts_laplacian() {
+        let sp = make();
+        // Build a zero-mean field, apply ∇² then ∇⁻², recover the original.
+        let mut field: Vec<f32> = (0..16 * 32).map(|i| ((i * 31 + 7) % 13) as f32 - 6.0).collect();
+        let mean: f32 = field.iter().sum::<f32>() / field.len() as f32;
+        for v in &mut field {
+            *v -= mean;
+        }
+        let s = sp.forward(&field);
+        // ∇²  = -k² multiply
+        let mut lap = Spec { re: s.re.clone(), im: s.im.clone() };
+        for i in 0..lap.re.len() {
+            lap.re[i] *= -sp.k2[i];
+            lap.im[i] *= -sp.k2[i];
+        }
+        let back = sp.inverse(sp.inv_laplacian(&lap));
+        for (a, b) in back.iter().zip(&field) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn damping_hits_small_scales_only() {
+        let sp = make();
+        // Large-scale mode (k=1) + small-scale mode (k=15, beyond the 2/3
+        // cutoff of 32·2/3/2 ≈ 10.7) + mid mode (k=8, inside the cutoff).
+        let field: Vec<f32> = (0..16 * 32)
+            .map(|i| {
+                let c = (i % 32) as f64;
+                ((2.0 * std::f64::consts::PI * c / 32.0).sin()
+                    + (2.0 * std::f64::consts::PI * 8.0 * c / 32.0).sin()
+                    + (2.0 * std::f64::consts::PI * 15.0 * c / 32.0).sin()) as f32
+            })
+            .collect();
+        let mut damped = field.clone();
+        sp.damp_small_scales(&mut damped, 3.0);
+        let spec_before = aeris_tensor::fft::zonal_power_spectrum(&field, 16, 32);
+        let spec_after = aeris_tensor::fft::zonal_power_spectrum(&damped, 16, 32);
+        assert!(spec_after[1] > 0.99 * spec_before[1], "large scale must survive");
+        assert!(spec_after[8] > 0.5 * spec_before[8], "mid scale mostly survives");
+        assert!(spec_after[15] < 1e-9, "beyond-cutoff mode must vanish");
+    }
+
+    #[test]
+    fn band_noise_has_requested_rms_and_band() {
+        let sp = make();
+        let mut rng = Rng::seed_from(3);
+        let f = sp.band_noise(&mut rng, 3, 6, 2.0);
+        let ms: f64 = f.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / f.len() as f64;
+        assert!((ms.sqrt() - 2.0).abs() < 0.2, "rms {}", ms.sqrt());
+        let spec = aeris_tensor::fft::zonal_power_spectrum(&f, 16, 32);
+        // Most zonal power within/below the band (meridional modes alias into
+        // low zonal bins), none far above it.
+        let hi: f64 = spec[10..].iter().sum();
+        let total: f64 = spec.iter().sum();
+        assert!(hi / total < 0.05, "high-band leakage {}", hi / total);
+    }
+
+    #[test]
+    fn zero_mean_is_preserved_by_inv_laplacian() {
+        let sp = make();
+        let field = vec![5.0f32; 16 * 32];
+        let psi = sp.inverse(sp.inv_laplacian(&sp.forward(&field)));
+        assert!(psi.iter().all(|&v| v.abs() < 1e-9), "constant maps to zero");
+    }
+}

@@ -1,0 +1,46 @@
+//! Heatwave diagnostics (Fig. 5b): point time series of T2m over a location
+//! with ensemble envelope statistics.
+
+use aeris_earthsim::Grid;
+use aeris_tensor::Tensor;
+
+/// Extract the time series of channel `ch` at the grid cell nearest
+/// `(lat, lon)` from a state sequence.
+pub fn point_series(states: &[Tensor], grid: Grid, lat: f32, lon: f32, ch: usize) -> Vec<f32> {
+    let i = grid.index(grid.row_of_lat(lat), grid.col_of_lon(lon));
+    states.iter().map(|s| s.at(&[i, ch])).collect()
+}
+
+/// Fraction of ensemble members whose series exceeds `threshold` at any step
+/// within `[t0, t1)` — "did the ensemble catch the heatwave".
+pub fn exceedance_fraction(member_series: &[Vec<f32>], threshold: f32, t0: usize, t1: usize) -> f64 {
+    assert!(!member_series.is_empty());
+    let hits = member_series
+        .iter()
+        .filter(|s| s[t0.min(s.len())..t1.min(s.len())].iter().any(|&v| v > threshold))
+        .count();
+    hits as f64 / member_series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_series_picks_the_right_cell() {
+        let grid = Grid::new(8, 16);
+        let mut s = Tensor::zeros(&[grid.tokens(), 2]);
+        let i = grid.index(grid.row_of_lat(51.5), grid.col_of_lon(0.0));
+        *s.at_mut(&[i, 1]) = 42.0;
+        let series = point_series(&[s], grid, 51.5, 0.0, 1);
+        assert_eq!(series, vec![42.0]);
+    }
+
+    #[test]
+    fn exceedance_counts_members() {
+        let m1 = vec![10.0, 20.0, 30.0];
+        let m2 = vec![10.0, 12.0, 11.0];
+        let f = exceedance_fraction(&[m1, m2], 25.0, 0, 3);
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+}

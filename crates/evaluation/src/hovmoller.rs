@@ -1,0 +1,110 @@
+//! Hovmöller diagrams (Fig. 7c): time × longitude sections of an equatorial
+//! band average, used to diagnose propagating convectively coupled waves.
+
+use aeris_earthsim::{Grid, Region};
+use aeris_tensor::Tensor;
+
+/// Build a Hovmöller matrix `[n_times, nlon]` for channel `ch`: at each time,
+/// average the channel over the latitude band of `region`.
+pub fn hovmoller(states: &[Tensor], grid: Grid, region: &Region, ch: usize) -> Tensor {
+    assert!(!states.is_empty());
+    let rows: Vec<usize> = (0..grid.nlat)
+        .filter(|&r| {
+            let lat = grid.lat_deg(r);
+            lat >= region.lat_min && lat <= region.lat_max
+        })
+        .collect();
+    assert!(!rows.is_empty(), "band contains no rows at this resolution");
+    let mut out = Tensor::zeros(&[states.len(), grid.nlon]);
+    for (ti, s) in states.iter().enumerate() {
+        for c in 0..grid.nlon {
+            let mut acc = 0.0f64;
+            for &r in &rows {
+                acc += s.at(&[grid.index(r, c), ch]) as f64;
+            }
+            *out.at_mut(&[ti, c]) = (acc / rows.len() as f64) as f32;
+        }
+    }
+    out
+}
+
+/// Remove the time-mean per longitude (anomaly Hovmöller).
+pub fn remove_time_mean(hov: &Tensor) -> Tensor {
+    let (nt, nl) = (hov.shape()[0], hov.shape()[1]);
+    let mut out = hov.clone();
+    for c in 0..nl {
+        let mut mean = 0.0f64;
+        for t in 0..nt {
+            mean += hov.at(&[t, c]) as f64;
+        }
+        mean /= nt as f64;
+        for t in 0..nt {
+            *out.at_mut(&[t, c]) -= mean as f32;
+        }
+    }
+    out
+}
+
+/// Pattern correlation between two Hovmöller rows (time slices): the skill
+/// measure behind "skill to at least 3 weeks".
+pub fn pattern_correlation(a: &Tensor, b: &Tensor, t: usize) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    let nl = a.shape()[1];
+    let (mut ma, mut mb) = (0.0f64, 0.0f64);
+    for c in 0..nl {
+        ma += a.at(&[t, c]) as f64;
+        mb += b.at(&[t, c]) as f64;
+    }
+    ma /= nl as f64;
+    mb /= nl as f64;
+    let (mut num, mut da, mut db) = (0.0f64, 0.0f64, 0.0f64);
+    for c in 0..nl {
+        let x = a.at(&[t, c]) as f64 - ma;
+        let y = b.at(&[t, c]) as f64 - mb;
+        num += x * y;
+        da += x * x;
+        db += y * y;
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_earthsim::EQUATORIAL_BAND;
+
+    #[test]
+    fn hovmoller_shape_and_band_average() {
+        let grid = Grid::new(16, 8);
+        // Field = longitude index everywhere.
+        let mut s = Tensor::zeros(&[grid.tokens(), 1]);
+        for r in 0..16 {
+            for c in 0..8 {
+                *s.at_mut(&[grid.index(r, c), 0]) = c as f32;
+            }
+        }
+        let h = hovmoller(&[s.clone(), s], grid, &EQUATORIAL_BAND, 0);
+        assert_eq!(h.shape(), &[2, 8]);
+        for c in 0..8 {
+            assert!((h.at(&[0, c]) - c as f32).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn anomaly_removes_time_mean() {
+        let h = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 3.0, 4.0, 5.0]);
+        let a = remove_time_mean(&h);
+        for c in 0..3 {
+            assert!((a.at(&[0, c]) + a.at(&[1, c])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pattern_correlation_limits() {
+        let a = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.scale(2.5);
+        assert!((pattern_correlation(&a, &b, 0) - 1.0).abs() < 1e-9);
+        let c = a.scale(-1.0);
+        assert!((pattern_correlation(&a, &c, 0) + 1.0).abs() < 1e-9);
+    }
+}

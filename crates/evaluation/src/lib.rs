@@ -1,0 +1,29 @@
+//! Forecast evaluation (§VII-B): the WeatherBench-style probabilistic metrics
+//! and the domain diagnostics behind Figs. 5–7.
+//!
+//! - [`metrics`]: latitude-weighted RMSE, ensemble-mean RMSE, fair CRPS,
+//!   spread/skill ratio, anomaly correlation,
+//! - [`spectra`]: zonal power spectra and spectral ratios (blur detection),
+//! - [`hovmoller`]: equatorial Hovmöller diagrams and pattern correlation,
+//! - [`nino`]: Niño 3.4 index series,
+//! - [`cyclone`]: MSLP-minimum tracker, track and intensity errors,
+//! - [`heatwave`]: point time-series extraction and exceedance diagnostics.
+
+// Numerical kernels here frequently walk several arrays with one shared
+// index; explicit indexed loops are clearer than zipped iterator chains in
+// that style, so the pedantic range-loop lint is disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cyclone;
+pub mod heatwave;
+pub mod hovmoller;
+pub mod metrics;
+pub mod nino;
+pub mod spectra;
+
+pub use cyclone::{track_cyclone, track_cyclone_guided, CycloneTrack, TrackPoint};
+pub use heatwave::point_series;
+pub use hovmoller::{hovmoller as hovmoller_diagram, pattern_correlation};
+pub use metrics::{acc, crps, ensemble_mean, rank_histogram, rank_histogram_flatness, rmse, spread, ssr};
+pub use nino::nino34_series;
+pub use spectra::{spectral_ratio, zonal_spectrum};

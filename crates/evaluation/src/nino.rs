@@ -1,0 +1,62 @@
+//! Niño 3.4 index diagnostics (Fig. 7a).
+
+use aeris_earthsim::{Grid, VariableSet, NINO34};
+use aeris_tensor::Tensor;
+
+/// Niño 3.4 index series from forecast states: the area-mean SST anomaly
+/// over the Niño 3.4 box, relative to the provided climatological SST fields
+/// (one per forecast step, matching valid times).
+pub fn nino34_series(
+    states: &[Tensor],
+    clim_sst: &[Tensor],
+    grid: Grid,
+    vars: &VariableSet,
+) -> Vec<f32> {
+    assert_eq!(states.len(), clim_sst.len());
+    let sst = vars.index_of("sst").expect("variable set lacks SST");
+    states
+        .iter()
+        .zip(clim_sst)
+        .map(|(s, c)| {
+            let mut anom = vec![0.0f32; grid.tokens()];
+            for t in 0..grid.tokens() {
+                anom[t] = s.at(&[t, sst]) - c.at(&[t, sst]);
+            }
+            grid.region_mean(&anom, &NINO34)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_anomaly_in_box_raises_index() {
+        let grid = Grid::new(32, 64);
+        let vars = VariableSet::default_toy();
+        let sst = vars.index_of("sst").unwrap();
+        let clim = Tensor::full(&[grid.tokens(), vars.len()], 300.0);
+        let mut warm = clim.clone();
+        for &t in &grid.region_tokens(&NINO34) {
+            *warm.at_mut(&[t, sst]) += 2.0;
+        }
+        let series = nino34_series(&[clim.clone(), warm], &[clim.clone(), clim], grid, &vars);
+        assert!(series[0].abs() < 1e-5);
+        assert!((series[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn anomaly_outside_box_does_not_move_index() {
+        let grid = Grid::new(32, 64);
+        let vars = VariableSet::default_toy();
+        let sst = vars.index_of("sst").unwrap();
+        let clim = Tensor::full(&[grid.tokens(), vars.len()], 300.0);
+        let mut state = clim.clone();
+        // Warm the Atlantic (lon ~ 330E), well outside Niño 3.4.
+        let i = grid.index(grid.row_of_lat(0.0), grid.col_of_lon(330.0));
+        *state.at_mut(&[i, sst]) += 5.0;
+        let series = nino34_series(&[state], &[clim], grid, &vars);
+        assert!(series[0].abs() < 1e-5);
+    }
+}

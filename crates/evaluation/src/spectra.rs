@@ -1,0 +1,81 @@
+//! Zonal power spectra: the paper validates that AERIS keeps "correct
+//! power-spectra even at the smallest scales" over 90-day rollouts (§VII-B),
+//! and that deterministic models blur (spectral deficit at high wavenumber).
+
+use aeris_earthsim::Grid;
+use aeris_tensor::fft::zonal_power_spectrum;
+use aeris_tensor::Tensor;
+
+/// Zonal power spectrum of channel `ch` of a `[tokens, C]` field on `grid`:
+/// returns `nlon/2 + 1` band powers averaged over latitude rows.
+pub fn zonal_spectrum(field: &Tensor, grid: Grid, ch: usize) -> Vec<f64> {
+    assert_eq!(field.shape()[0], grid.tokens());
+    let mut plane = vec![0.0f32; grid.tokens()];
+    for t in 0..grid.tokens() {
+        plane[t] = field.at(&[t, ch]);
+    }
+    zonal_power_spectrum(&plane, grid.nlat, grid.nlon)
+}
+
+/// Ratio of prediction to truth power per wavenumber band (1 = perfectly
+/// sharp; < 1 at high k = blurred).
+pub fn spectral_ratio(pred: &Tensor, truth: &Tensor, grid: Grid, ch: usize) -> Vec<f64> {
+    let sp = zonal_spectrum(pred, grid, ch);
+    let st = zonal_spectrum(truth, grid, ch);
+    sp.iter().zip(&st).map(|(p, t)| if *t > 0.0 { p / t } else { 1.0 }).collect()
+}
+
+/// Mean spectral ratio over the top-third (smallest resolved) wavenumbers —
+/// a scalar "sharpness" diagnostic.
+pub fn high_k_sharpness(pred: &Tensor, truth: &Tensor, grid: Grid, ch: usize) -> f64 {
+    let r = spectral_ratio(pred, truth, grid, ch);
+    let start = r.len() * 2 / 3;
+    let tail = &r[start..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_tensor::Rng;
+
+    #[test]
+    fn identical_fields_have_unit_ratio() {
+        let grid = Grid::new(8, 32);
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[grid.tokens(), 2], &mut rng);
+        let r = spectral_ratio(&x, &x, grid, 1);
+        for v in &r {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+        assert!((high_k_sharpness(&x, &x, grid, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_shows_up_as_high_k_deficit() {
+        let grid = Grid::new(8, 32);
+        let mut rng = Rng::seed_from(2);
+        let truth = Tensor::randn(&[grid.tokens(), 1], &mut rng);
+        // 3-point zonal smoothing = blur.
+        let mut blurred = truth.clone();
+        for r in 0..grid.nlat {
+            for c in 0..grid.nlon {
+                let cm = (c + grid.nlon - 1) % grid.nlon;
+                let cp = (c + 1) % grid.nlon;
+                *blurred.at_mut(&[grid.index(r, c), 0]) = (truth.at(&[grid.index(r, cm), 0])
+                    + truth.at(&[grid.index(r, c), 0])
+                    + truth.at(&[grid.index(r, cp), 0]))
+                    / 3.0;
+            }
+        }
+        let s = high_k_sharpness(&blurred, &truth, grid, 0);
+        assert!(s < 0.5, "blurred sharpness {s}");
+    }
+
+    #[test]
+    fn spectrum_length_is_half_plus_one() {
+        let grid = Grid::new(4, 16);
+        let x = Tensor::zeros(&[grid.tokens(), 1]);
+        assert_eq!(zonal_spectrum(&x, grid, 0).len(), 9);
+    }
+}

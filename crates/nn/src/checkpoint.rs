@@ -1,0 +1,160 @@
+//! Parameter checkpointing: a minimal self-describing binary format for
+//! [`ParamStore`] contents (name → shape → f32 data), so trained models can
+//! be saved and restored without a serialization framework.
+
+use crate::params::ParamStore;
+use aeris_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0xAE51_C4B1;
+
+/// Serialize every parameter of `store` to `writer`.
+pub fn write_params(store: &ParamStore, writer: &mut dyn Write) -> std::io::Result<()> {
+    writer.write_all(&MAGIC.to_le_bytes())?;
+    writer.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        let name_bytes = name.as_bytes();
+        writer.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        writer.write_all(name_bytes)?;
+        writer.write_all(&(value.ndim() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            writer.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in value.data() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a checkpoint into `(name, tensor)` pairs.
+pub fn read_params(reader: &mut dyn Read) -> std::io::Result<Vec<(String, Tensor)>> {
+    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf4)?;
+    if u32::from_le_bytes(buf4) != MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not an AERIS checkpoint",
+        ));
+    }
+    reader.read_exact(&mut buf4)?;
+    let n = u32::from_le_bytes(buf4) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        reader.read_exact(&mut buf4)?;
+        let name_len = u32::from_le_bytes(buf4) as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        reader.read_exact(&mut buf4)?;
+        let ndim = u32::from_le_bytes(buf4) as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            reader.read_exact(&mut buf4)?;
+            shape.push(u32::from_le_bytes(buf4) as usize);
+        }
+        let len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            reader.read_exact(&mut buf4)?;
+            data.push(f32::from_le_bytes(buf4));
+        }
+        out.push((name, Tensor::from_vec(&shape, data)));
+    }
+    Ok(out)
+}
+
+/// Save a store to a file.
+pub fn save_params(store: &ParamStore, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_params(store, &mut f)
+}
+
+/// Load a checkpoint into an existing store (layouts must match: every
+/// parameter present with the same name and shape).
+pub fn load_params(store: &mut ParamStore, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let pairs = read_params(&mut f)?;
+    let by_name: std::collections::HashMap<String, Tensor> = pairs.into_iter().collect();
+    let ids: Vec<(crate::params::ParamId, String, Vec<usize>)> = store
+        .iter()
+        .map(|(id, n, v)| (id, n.to_string(), v.shape().to_vec()))
+        .collect();
+    for (id, name, shape) in ids {
+        let t = by_name.get(&name).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checkpoint missing parameter {name}"),
+            )
+        })?;
+        if t.shape() != shape.as_slice() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("shape mismatch for {name}: {:?} vs {:?}", t.shape(), shape),
+            ));
+        }
+        *store.get_mut(id) = t.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_tensor::Rng;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::seed_from(1);
+        s.register("layer.w", Tensor::randn(&[3, 4], &mut rng));
+        s.register("layer.b", Tensor::randn(&[4], &mut rng));
+        s.register("gamma", Tensor::randn(&[7], &mut rng));
+        s
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let src = store();
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let pairs = read_params(&mut &buf[..]).unwrap();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, "layer.w");
+        assert_eq!(&pairs[0].1, src.get(crate::params::ParamId(0)));
+    }
+
+    #[test]
+    fn file_roundtrip_restores_exactly() {
+        let src = store();
+        let path = std::env::temp_dir().join("aeris_ckpt_test.bin");
+        save_params(&src, &path).unwrap();
+        let mut dst = store();
+        dst.get_mut(crate::params::ParamId(0)).map_inplace(|_| 0.0);
+        load_params(&mut dst, &path).unwrap();
+        for (id, _, v) in src.iter() {
+            assert_eq!(dst.get(id), v);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let src = store();
+        let path = std::env::temp_dir().join("aeris_ckpt_test2.bin");
+        save_params(&src, &path).unwrap();
+        let mut bad = ParamStore::new();
+        bad.register("layer.w", Tensor::zeros(&[2, 2]));
+        bad.register("layer.b", Tensor::zeros(&[4]));
+        bad.register("gamma", Tensor::zeros(&[7]));
+        assert!(load_params(&mut bad, &path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 16];
+        assert!(read_params(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Parameter storage and tape binding.
+//!
+//! [`ParamStore`] owns the FP32 master copy of every learnable tensor in a
+//! model. Layers hold [`ParamId`]s into the store, so the same layer objects
+//! can be (a) trained single-rank, (b) replicated across SWiPe model-parallel
+//! ranks, or (c) swapped for EMA shadow weights at inference, just by handing
+//! them a different store.
+
+use aeris_autodiff::{Grads, Tape, Var};
+use aeris_tensor::{Rng, Tensor};
+
+pub use aeris_autodiff::Grads as TapeGrads;
+
+/// Index of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// Owns parameter tensors (FP32 master weights) and their names.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter tensor under `name`; returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Register a truncated-normal-initialized parameter (std 0.02, the
+    /// standard transformer init) of the given shape.
+    pub fn register_normal(&mut self, name: impl Into<String>, shape: &[usize], std: f32, rng: &mut Rng) -> ParamId {
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            // Truncate at 2 std to avoid outlier weights.
+            let mut x = rng.normal();
+            while x.abs() > 2.0 {
+                x = rng.normal();
+            }
+            *v = x * std;
+        }
+        self.register(name, t)
+    }
+
+    /// Register a zero-initialized parameter.
+    pub fn register_zeros(&mut self, name: impl Into<String>, shape: &[usize]) -> ParamId {
+        self.register(name, Tensor::zeros(shape))
+    }
+
+    /// Register a ones-initialized parameter (norm gains).
+    pub fn register_ones(&mut self, name: impl Into<String>, shape: &[usize]) -> ParamId {
+        self.register(name, Tensor::ones(shape))
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameters registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|t| t.len()).sum()
+    }
+
+    /// Borrow a parameter value.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutably borrow a parameter value (optimizer updates).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterate `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// Deep-copy all values (EMA shadow, checkpointing).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.values.clone()
+    }
+
+    /// Restore values from a snapshot taken on an identical store layout.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.values.len());
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            assert_eq!(v.shape(), s.shape());
+            *v = s.clone();
+        }
+    }
+}
+
+/// Per-tape cache binding parameters onto tape leaves, so a parameter used by
+/// several layers (or several windows) appears exactly once in the graph and
+/// its gradient accumulates across all uses.
+pub struct Binding {
+    vars: Vec<Option<Var>>,
+}
+
+impl Binding {
+    /// A binding sized for `store`.
+    pub fn new(store: &ParamStore) -> Self {
+        Binding { vars: vec![None; store.len()] }
+    }
+
+    /// The tape leaf for parameter `id`, creating it on first use.
+    pub fn var(&mut self, tape: &mut Tape, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(v) = self.vars[id.0] {
+            return v;
+        }
+        let v = tape.leaf(store.get(id).clone());
+        self.vars[id.0] = Some(v);
+        v
+    }
+
+    /// Collect gradients for every bound parameter after `tape.backward`.
+    /// Unused parameters get `None`.
+    pub fn collect_grads(&self, grads: &mut Grads) -> Vec<Option<Tensor>> {
+        self.vars
+            .iter()
+            .map(|slot| slot.and_then(|v| grads.take(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(0);
+        let a = store.register_normal("w", &[3, 4], 0.02, &mut rng);
+        let b = store.register_zeros("b", &[4]);
+        let g = store.register_ones("gamma", &[4]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.num_scalars(), 12 + 4 + 4);
+        assert_eq!(store.name(a), "w");
+        assert_eq!(store.get(b).abs_max(), 0.0);
+        assert_eq!(store.get(g).min(), 1.0);
+    }
+
+    #[test]
+    fn normal_init_is_truncated() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from(3);
+        let w = store.register_normal("w", &[1000], 0.02, &mut rng);
+        assert!(store.get(w).abs_max() <= 0.04 + 1e-9);
+    }
+
+    #[test]
+    fn binding_dedups_leaves_and_accumulates_grads() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_slice(&[2.0]));
+        let mut tape = Tape::new();
+        let mut binding = Binding::new(&store);
+        let v1 = binding.var(&mut tape, &store, w);
+        let v2 = binding.var(&mut tape, &store, w);
+        assert_eq!(v1, v2);
+        // loss = w*w + 3w => grad 2w+3 = 7
+        let sq = tape.mul(v1, v2);
+        let three = tape.scale(v1, 3.0);
+        let s = tape.add(sq, three);
+        let loss = tape.sum(s);
+        let mut grads = tape.backward(loss);
+        let collected = binding.collect_grads(&mut grads);
+        assert_eq!(collected.len(), 1);
+        assert!((collected[0].as_ref().unwrap().data()[0] - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_slice(&[1.0, 2.0]));
+        let snap = store.snapshot();
+        store.get_mut(w).data_mut()[0] = 99.0;
+        store.restore(&snap);
+        assert_eq!(store.get(w).data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! 2D sinusoidal positional encoding added to the input pixels (§V-B).
+//!
+//! The paper adds one 2D sinusoidal field to *each channel* of the input as a
+//! proxy of locality. We build a multi-octave sin/cos field over (lat, lon)
+//! normalized to zero mean and bounded amplitude.
+
+use aeris_tensor::Tensor;
+
+/// Positional field of shape `[h*w]` (row-major), values in roughly
+/// `[-amp, amp]`. Added identically to every channel.
+pub fn pos_encoding_2d(h: usize, w: usize, amp: f32) -> Tensor {
+    let octaves = 4usize;
+    let mut out = Tensor::zeros(&[h * w]);
+    let norm = amp / (2.0 * octaves as f32);
+    for r in 0..h {
+        for c in 0..w {
+            let mut v = 0.0f32;
+            for k in 0..octaves {
+                let f = (1 << k) as f32;
+                let ar = 2.0 * std::f32::consts::PI * f * r as f32 / h as f32;
+                let ac = 2.0 * std::f32::consts::PI * f * c as f32 / w as f32;
+                v += ar.sin() + ac.cos();
+            }
+            out.data_mut()[r * w + c] = v * norm;
+        }
+    }
+    out
+}
+
+/// Add the positional field to every channel of a `[h*w, channels]` matrix.
+pub fn add_pos_encoding(x: &Tensor, pe: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 2);
+    assert_eq!(pe.shape(), &[x.shape()[0]]);
+    let mut out = x.clone();
+    let cols = x.shape()[1];
+    for r in 0..x.shape()[0] {
+        let p = pe.data()[r];
+        for v in &mut out.data_mut()[r * cols..(r + 1) * cols] {
+            *v += p;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_is_bounded() {
+        let pe = pos_encoding_2d(16, 32, 0.1);
+        assert!(pe.abs_max() <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    fn distinct_positions_get_distinct_codes() {
+        let pe = pos_encoding_2d(8, 8, 1.0);
+        // Not all equal
+        assert!(pe.max() - pe.min() > 1e-3);
+    }
+
+    #[test]
+    fn add_broadcasts_over_channels() {
+        let pe = pos_encoding_2d(2, 2, 1.0);
+        let x = Tensor::zeros(&[4, 3]);
+        let y = add_pos_encoding(&x, &pe);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(y.at(&[r, c]), pe.data()[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(pos_encoding_2d(6, 6, 0.5), pos_encoding_2d(6, 6, 0.5));
+    }
+}

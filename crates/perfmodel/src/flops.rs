@@ -1,0 +1,102 @@
+//! Analytical parameter and FLOP counts (§VI-D; after the Megatron-style
+//! transformer model of the authors' prior work, adapted to the windowed
+//! Swin diffusion transformer).
+
+use crate::configs::{AerisPerfConfig, CHANNELS, SEQ_TOKENS};
+
+/// Parameters of one transformer block: QKVO projections `4d²`, fused SwiGLU
+/// `3·d·f`, the AdaLN modulation head `d·6d`, two RMSNorm gains, biases.
+pub fn block_params(dim: usize, ffn: usize) -> f64 {
+    let d = dim as f64;
+    let f = ffn as f64;
+    4.0 * d * d + 3.0 * d * f + 6.0 * d * d + 6.0 * d + 2.0 * d
+}
+
+/// Total model parameters.
+pub fn params_count(cfg: &AerisPerfConfig) -> f64 {
+    let d = cfg.dim as f64;
+    let in_ch = (2 * CHANNELS + 3) as f64; // [x_t, x_{i-1}, forcings]
+    let embed = in_ch * d + d;
+    let decode = d * CHANNELS as f64 + CHANNELS as f64;
+    let time = d * d + d; // shared conditioner trunk
+    cfg.blocks as f64 * block_params(cfg.dim, cfg.ffn) + embed + decode + time
+}
+
+/// Forward FLOPs per sample (720×1440 tokens): projections `8·s·d²`, window
+/// attention `4·s·w·d` (scores + AV with window size `w`), SwiGLU `6·s·d·f`.
+pub fn forward_flops_per_sample(cfg: &AerisPerfConfig) -> f64 {
+    let s = SEQ_TOKENS as f64;
+    let d = cfg.dim as f64;
+    let f = cfg.ffn as f64;
+    let w = (cfg.window * cfg.window) as f64;
+    let per_block = s * (8.0 * d * d + 4.0 * w * d + 6.0 * d * f);
+    let embed_decode = 2.0 * s * d * ((2 * CHANNELS + 3) as f64 + CHANNELS as f64);
+    cfg.blocks as f64 * per_block + embed_decode
+}
+
+/// Training FLOPs per sample: forward + backward ≈ 3× forward (no activation
+/// checkpointing — the paper highlights that WP removes the need for it,
+/// avoiding the extra ~1/3 recompute).
+pub fn train_flops_per_sample(cfg: &AerisPerfConfig) -> f64 {
+    3.0 * forward_flops_per_sample(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{config, PAPER_CONFIGS};
+
+    /// The derived parameter counts must land near the published labels.
+    /// (The 13B config is the outlier at +21%; layer/FFN details for that row
+    /// are under-specified in the paper — see DESIGN.md.)
+    #[test]
+    fn params_match_labels() {
+        for c in &PAPER_CONFIGS {
+            let p = params_count(c) / 1e9;
+            let rel = (p - c.params_label_b) / c.params_label_b;
+            assert!(
+                rel.abs() < 0.25,
+                "{}: derived {p:.2}B vs label {}B",
+                c.name,
+                c.params_label_b
+            );
+        }
+        // The flagship runs must be tight.
+        let p40 = params_count(config("40B")) / 1e9;
+        assert!((p40 - 40.0).abs() < 1.5, "40B derived {p40:.2}B");
+        let p80 = params_count(config("80B")) / 1e9;
+        assert!((79.3 - p80).abs() < 1.0, "80B derived {p80:.2}B (text says 79B)");
+    }
+
+    /// Cross-check the headline: 40B at 50 samples/s must give ≈ 10 EF.
+    #[test]
+    fn headline_flops_consistency() {
+        let c = config("40B");
+        let ef = train_flops_per_sample(c) * 50.0 / 1e18;
+        assert!(
+            (9.0..12.5).contains(&ef),
+            "40B @ 50 samples/s gives {ef:.2} EF, paper sustains 10.21"
+        );
+    }
+
+    /// FLOPs ratio between 40B and 1.3B ≈ 31.5× (paper: "40B … is 31.5×
+    /// larger" in compute terms at equal tokens).
+    #[test]
+    fn model_size_ratio() {
+        let f40 = train_flops_per_sample(config("40B"));
+        let f13 = train_flops_per_sample(config("1.3B"));
+        let ratio = f40 / f13;
+        assert!((25.0..40.0).contains(&ratio), "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn window_term_is_minor_but_present() {
+        let c = config("40B");
+        let with = forward_flops_per_sample(c);
+        let mut no_win = *c;
+        no_win.window = 1;
+        let without = forward_flops_per_sample(&no_win);
+        assert!(with > without);
+        assert!((with - without) / with < 0.1, "attention term should be <10% at this dim");
+    }
+}

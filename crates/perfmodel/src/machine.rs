@@ -1,0 +1,109 @@
+//! System configurations (Table I of the paper).
+
+/// Hardware constants of one system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub gpu: &'static str,
+    /// GPUs per node (packages).
+    pub gpus_per_node: usize,
+    /// Compute tiles per node (the scheduling unit; Aurora GPUs have 2).
+    pub tiles_per_node: usize,
+    /// HBM per GPU (GB).
+    pub gpu_memory_gb: f64,
+    /// HBM bandwidth per GPU (TB/s).
+    pub gpu_mem_bw_tbs: f64,
+    /// NICs per node.
+    pub nics_per_node: usize,
+    /// Injection bandwidth per node per direction (GB/s).
+    pub network_bw_gbs: f64,
+    /// Intra-node (scale-up) bandwidth per direction (GB/s).
+    pub scaleup_bw_gbs: f64,
+    /// Peak BF16 throughput per *tile* (TFLOPS).
+    pub peak_bf16_tflops_per_tile: f64,
+    /// Peak FP32 throughput per tile (TFLOPS).
+    pub peak_fp32_tflops_per_tile: f64,
+    /// Collective library name.
+    pub ccl: &'static str,
+    /// Largest node count used in the paper's runs.
+    pub max_nodes: usize,
+}
+
+/// Aurora (ALCF): Intel Data Center Max 1550, 6 GPUs = 12 tiles per node.
+/// Peak 458 TFLOPS BF16 per GPU → 229 per tile.
+pub const AURORA: MachineSpec = MachineSpec {
+    name: "Aurora",
+    gpu: "Intel Max 1550",
+    gpus_per_node: 6,
+    tiles_per_node: 12,
+    gpu_memory_gb: 128.0,
+    gpu_mem_bw_tbs: 2.0,
+    nics_per_node: 8,
+    network_bw_gbs: 200.0,
+    scaleup_bw_gbs: 28.0,
+    peak_bf16_tflops_per_tile: 229.0,
+    peak_fp32_tflops_per_tile: 22.5,
+    ccl: "oneCCL",
+    max_nodes: 10_080,
+};
+
+/// LUMI (CSC): AMD MI250X, 4 GPUs = 8 GCDs per node. Peak 383 TFLOPS BF16
+/// per GPU → 191.5 per GCD.
+pub const LUMI: MachineSpec = MachineSpec {
+    name: "LUMI",
+    gpu: "AMD MI250X",
+    gpus_per_node: 4,
+    tiles_per_node: 8,
+    gpu_memory_gb: 128.0,
+    gpu_mem_bw_tbs: 3.2,
+    nics_per_node: 4,
+    network_bw_gbs: 100.0,
+    scaleup_bw_gbs: 50.0,
+    peak_bf16_tflops_per_tile: 191.5,
+    peak_fp32_tflops_per_tile: 47.85,
+    ccl: "RCCL",
+    max_nodes: 1_008,
+};
+
+impl MachineSpec {
+    /// Total tiles at a node count.
+    pub fn tiles(&self, nodes: usize) -> usize {
+        nodes * self.tiles_per_node
+    }
+
+    /// Aggregate peak BF16 FLOPS at a node count (FLOP/s).
+    pub fn peak_flops(&self, nodes: usize) -> f64 {
+        self.tiles(nodes) as f64 * self.peak_bf16_tflops_per_tile * 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aurora_full_system_scale_matches_paper() {
+        // 10,080 nodes = 120,960 GPU tiles (paper abstract).
+        assert_eq!(AURORA.tiles(10_080), 120_960);
+    }
+
+    #[test]
+    fn aurora_peak_is_consistent_with_gpu_rating() {
+        // 458 TFLOPS per GPU, 2 tiles per GPU.
+        let per_gpu = AURORA.peak_bf16_tflops_per_tile * 2.0;
+        assert!((per_gpu - 458.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lumi_scale() {
+        assert_eq!(LUMI.tiles(1_008), 8_064);
+        let per_gpu = LUMI.peak_bf16_tflops_per_tile * 2.0;
+        assert!((per_gpu - 383.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_system_peak_exceeds_measured_sustained() {
+        // Sanity: 10.21 EF sustained must be below peak.
+        assert!(AURORA.peak_flops(10_080) > 10.21e18);
+    }
+}

@@ -1,0 +1,146 @@
+//! Weak- and strong-scaling sweeps (Figure 4).
+
+use crate::configs::AerisPerfConfig;
+use crate::machine::MachineSpec;
+use crate::throughput::{predict, EffModel, Prediction};
+
+/// One point of a scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    pub nodes: usize,
+    pub prediction: Prediction,
+    /// Efficiency relative to the first point of the sweep (per-node
+    /// throughput ratio).
+    pub efficiency: f64,
+}
+
+/// Weak scaling: grow data parallelism at fixed (WP, PP, GAS); model-parallel
+/// settings and per-replica batch stay fixed, as in Fig. 4 bottom.
+pub fn weak_scaling(
+    cfg: &AerisPerfConfig,
+    machine: &MachineSpec,
+    dp_values: &[usize],
+    eff: &EffModel,
+) -> Vec<ScalePoint> {
+    assert!(!dp_values.is_empty());
+    let mut out = Vec::with_capacity(dp_values.len());
+    let mut base_per_node = 0.0f64;
+    for (i, &dp) in dp_values.iter().enumerate() {
+        let p = predict(cfg, machine, cfg.wp(), dp, cfg.gas, eff);
+        let per_node = p.samples_per_s / p.nodes as f64;
+        if i == 0 {
+            base_per_node = per_node;
+        }
+        out.push(ScalePoint { nodes: p.nodes, prediction: p, efficiency: per_node / base_per_node });
+    }
+    out
+}
+
+/// Strong scaling via gradient-accumulation steps (Fig. 4 top, "GAS"):
+/// global batch fixed at `gbs`; nodes grow by raising DP while GAS shrinks.
+pub fn strong_scaling_gas(
+    cfg: &AerisPerfConfig,
+    machine: &MachineSpec,
+    gbs: usize,
+    dp_values: &[usize],
+    eff: &EffModel,
+) -> Vec<ScalePoint> {
+    let mut out = Vec::with_capacity(dp_values.len());
+    let mut base: Option<(usize, f64)> = None; // (nodes, samples/s)
+    for &dp in dp_values {
+        assert_eq!(gbs % dp, 0, "GBS must divide by DP");
+        let gas = gbs / dp;
+        let p = predict(cfg, machine, cfg.wp(), dp, gas, eff);
+        let (n0, s0) = *base.get_or_insert((p.nodes, p.samples_per_s));
+        let ideal = s0 * p.nodes as f64 / n0 as f64;
+        out.push(ScalePoint { nodes: p.nodes, prediction: p, efficiency: p.samples_per_s / ideal });
+    }
+    out
+}
+
+/// Strong scaling via window parallelism (Fig. 4 top, "WP"): batch fixed at
+/// `gas` (DP = 1); nodes grow with the WP degree.
+pub fn strong_scaling_wp(
+    cfg: &AerisPerfConfig,
+    machine: &MachineSpec,
+    gas: usize,
+    wp_values: &[usize],
+    eff: &EffModel,
+) -> Vec<ScalePoint> {
+    let mut out = Vec::with_capacity(wp_values.len());
+    let mut base: Option<(usize, f64)> = None;
+    for &wp in wp_values {
+        let p = predict(cfg, machine, wp, 1, gas, eff);
+        let (n0, s0) = *base.get_or_insert((p.nodes, p.samples_per_s));
+        let ideal = s0 * p.nodes as f64 / n0 as f64;
+        out.push(ScalePoint { nodes: p.nodes, prediction: p, efficiency: p.samples_per_s / ideal });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::config;
+    use crate::machine::AURORA;
+
+    #[test]
+    fn weak_scaling_is_near_linear() {
+        // Paper: 95% weak-scaling efficiency for 40B out to 10,080 nodes.
+        let pts = weak_scaling(config("40B"), &AURORA, &[1, 2, 4, 8, 14], &EffModel::default());
+        let last = pts.last().unwrap();
+        assert_eq!(last.nodes, 10_080);
+        assert!(
+            last.efficiency > 0.93,
+            "weak scaling efficiency {:.3} (paper: 0.95)",
+            last.efficiency
+        );
+        // Throughput grows monotonically with nodes.
+        for w in pts.windows(2) {
+            assert!(w[1].prediction.samples_per_s > w[0].prediction.samples_per_s);
+        }
+    }
+
+    #[test]
+    fn gas_strong_scaling_matches_published_efficiency() {
+        // Paper: 81.6% strong scaling for the 40B model at GBS 1960, losses
+        // "mainly from the increasing pipeline bubble".
+        let pts =
+            strong_scaling_gas(config("40B"), &AURORA, 1960, &[2, 4, 7, 14], &EffModel::default());
+        let last = pts.last().unwrap();
+        assert!(
+            (0.75..0.92).contains(&last.efficiency),
+            "GAS strong scaling {:.3}, paper 0.816",
+            last.efficiency
+        );
+    }
+
+    #[test]
+    fn wp_strong_scaling_rolloff_matches_paper() {
+        // Paper: WP 36 → 64 → 144 at batch 140 gives 100% / 87% / 64%.
+        let pts =
+            strong_scaling_wp(config("40B"), &AURORA, 140, &[36, 64, 144], &EffModel::default());
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        assert!(
+            (0.77..0.97).contains(&pts[1].efficiency),
+            "WP=64 efficiency {:.3}, paper 0.87",
+            pts[1].efficiency
+        );
+        assert!(
+            (0.5..0.78).contains(&pts[2].efficiency),
+            "WP=144 efficiency {:.3}, paper 0.64",
+            pts[2].efficiency
+        );
+        // The extreme case: 4× more nodes, ~2.4× speedup.
+        let speedup =
+            pts[2].prediction.samples_per_s / pts[0].prediction.samples_per_s;
+        assert!((2.0..3.1).contains(&speedup), "WP 36→144 speedup {speedup:.2}, paper 2.4");
+    }
+
+    #[test]
+    fn bubble_drives_gas_losses() {
+        // With GAS high the bubble is negligible; efficiency near 1.
+        let pts = strong_scaling_gas(config("40B"), &AURORA, 1960, &[2, 4], &EffModel::default());
+        assert!(pts[1].efficiency > 0.93);
+    }
+}

@@ -1,0 +1,218 @@
+//! The timing model: kernel efficiency, pipeline bubble, communication and
+//! optimizer costs → sustained/peak FLOPS, MFU, samples/s (Table III).
+
+use crate::configs::{AerisPerfConfig, SEQ_TOKENS};
+use crate::flops::{forward_flops_per_sample, params_count, train_flops_per_sample};
+use crate::machine::MachineSpec;
+
+/// Kernel-efficiency model: achievable fraction of tile peak as a function of
+/// problem shape. Three constants, calibrated once against the 40B Table III
+/// row and then *fixed* for every other prediction in the repo:
+///
+/// `eff = eff_max · d/(d + dim_half) · x/(x + tokens_half)`
+///
+/// where `d` is the hidden dim (GEMM size → kernel efficiency) and `x` the
+/// tokens per tile per microbatch (occupancy / saturation, the effect behind
+/// the paper's WP strong-scaling rolloff at WP = 144).
+#[derive(Clone, Copy, Debug)]
+pub struct EffModel {
+    pub eff_max: f64,
+    pub dim_half: f64,
+    pub tokens_half: f64,
+    /// Effective fraction of nominal bandwidth an intra-node collective
+    /// achieves.
+    pub ccl_eff: f64,
+    /// Effective fraction of injection bandwidth the FP32 gradient
+    /// allreduce + ZeRO allgather achieve at scale (latency, stragglers,
+    /// cross-group contention — the paper attributes the peak-vs-sustained
+    /// gap to exactly this plus the optimizer step).
+    pub grad_bw_eff: f64,
+}
+
+impl Default for EffModel {
+    fn default() -> Self {
+        EffModel {
+            eff_max: 0.88,
+            dim_half: 2500.0,
+            tokens_half: 600.0,
+            ccl_eff: 0.5,
+            grad_bw_eff: 0.05,
+        }
+    }
+}
+
+/// A throughput prediction for one run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Prediction {
+    pub nodes: usize,
+    pub dp: usize,
+    pub gbs: usize,
+    /// Seconds per optimizer step.
+    pub step_time_s: f64,
+    /// Seconds spent in the pipelined forward/backward (the "peak" window).
+    pub pipeline_time_s: f64,
+    pub samples_per_s: f64,
+    /// Sustained FLOP/s (whole step).
+    pub sustained_flops: f64,
+    /// Peak FLOP/s (pipeline window only, §VI-D).
+    pub peak_flops: f64,
+    /// Sustained TFLOPS per tile.
+    pub tf_per_tile: f64,
+    /// Model FLOPS utilization (vs BF16 tile peak).
+    pub mfu: f64,
+}
+
+/// Predict throughput for `cfg` on `machine` with the given data parallelism.
+/// `wp` is the window-parallel degree (A×B); SP is pinned to the node width.
+pub fn predict(
+    cfg: &AerisPerfConfig,
+    machine: &MachineSpec,
+    wp: usize,
+    dp: usize,
+    gas: usize,
+    eff: &EffModel,
+) -> Prediction {
+    let sp = machine.tiles_per_node;
+    let nodes = dp * wp * cfg.pp;
+    let tiles = machine.tiles(nodes);
+
+    // Shape-dependent kernel efficiency.
+    let x = SEQ_TOKENS as f64 / (wp * sp) as f64; // tokens per tile per microbatch
+    let kernel_eff = eff.eff_max
+        * (cfg.dim as f64 / (cfg.dim as f64 + eff.dim_half))
+        * (x / (x + eff.tokens_half));
+
+    // Per-microbatch, per-stage compute (fwd + bwd ≈ 3× fwd), per tile.
+    let stage_fwd_flops = forward_flops_per_sample(cfg) / cfg.layers() as f64;
+    let per_tile_fwd = stage_fwd_flops / (wp * sp) as f64;
+    let t_f = per_tile_fwd / (machine.peak_bf16_tflops_per_tile * 1e12 * kernel_eff);
+    let t_b = 2.0 * t_f;
+
+    // Ulysses all-to-all: ≈ 4 shipped copies of the tile's activation slice
+    // per microbatch (QKV out/in + attention out/in), BF16, intra-node.
+    let act_bytes = x * cfg.dim as f64 * 2.0;
+    let t_a2a = 4.0 * act_bytes / (machine.scaleup_bw_gbs * 1e9 * eff.ccl_eff);
+
+    // Pipeline send/recv is CPU-offloaded and overlapped on Aurora (§VI-C);
+    // on LUMI the overlap failed, so it is exposed.
+    let t_p2p = if machine.name == "Aurora" {
+        0.0
+    } else {
+        2.0 * act_bytes / (machine.network_bw_gbs * 1e9 / sp as f64 * eff.ccl_eff)
+    };
+
+    let t_slot = t_f + t_b + t_a2a + t_p2p;
+    let pipeline_time = (gas + cfg.pp - 1) as f64 * t_slot;
+
+    // Gradient allreduce (ring volume ≈ 2×params) + ZeRO-1 param allgather
+    // (1×params) over the network, per stage, FP32.
+    let p_stage = params_count(cfg) / cfg.pp as f64;
+    let grad_bytes = 3.0 * p_stage * 4.0;
+    let t_sync = grad_bytes / (machine.network_bw_gbs * 1e9 * eff.grad_bw_eff);
+    // Optimizer step: ~10 memory sweeps over the local shard.
+    let shard = p_stage / (dp * wp * sp) as f64;
+    let tile_mem_bw = machine.gpu_mem_bw_tbs * 1e12 / 2.0;
+    let t_opt = 10.0 * 4.0 * shard / tile_mem_bw;
+
+    let step_time = pipeline_time + t_sync + t_opt;
+    let gbs = dp * gas;
+    let step_flops = gbs as f64 * train_flops_per_sample(cfg);
+    let sustained = step_flops / step_time;
+    let peak = step_flops / pipeline_time;
+    Prediction {
+        nodes,
+        dp,
+        gbs,
+        step_time_s: step_time,
+        pipeline_time_s: pipeline_time,
+        samples_per_s: gbs as f64 / step_time,
+        sustained_flops: sustained,
+        peak_flops: peak,
+        tf_per_tile: sustained / tiles as f64 / 1e12,
+        mfu: sustained / machine.peak_flops(nodes),
+    }
+}
+
+/// Predict the Table III row for a named config (published node count / DP).
+pub fn predict_table3(cfg: &AerisPerfConfig, machine: &MachineSpec, eff: &EffModel) -> Prediction {
+    predict(cfg, machine, cfg.wp(), cfg.dp, cfg.gas, eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{config, PAPER_CONFIGS};
+    use crate::machine::{AURORA, LUMI};
+
+    fn table3_targets() -> [(&'static str, f64, f64, f64); 5] {
+        // (name, MFU %, EF sustained, EF peak)
+        [
+            ("1.3B", 21.6, 1.1, 1.2),
+            ("13B", 28.8, 5.8, 6.4),
+            ("40B", 38.4, 10.21, 11.21),
+            ("80B", 24.0, 5.27, 6.1),
+            ("26B(L)", 34.8, 0.54, 0.62),
+        ]
+    }
+
+    #[test]
+    fn table3_sustained_flops_within_tolerance() {
+        let eff = EffModel::default();
+        for (name, _mfu, ef_s, _ef_p) in table3_targets() {
+            let cfg = config(name);
+            let machine = if name.ends_with("(L)") { &LUMI } else { &AURORA };
+            let p = predict_table3(cfg, machine, &eff);
+            let model_ef = p.sustained_flops / 1e18;
+            let rel = (model_ef - ef_s) / ef_s;
+            assert!(
+                rel.abs() < 0.35,
+                "{name}: model {model_ef:.2} EF vs paper {ef_s} EF ({:+.0}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn flagship_40b_run_is_tight() {
+        let p = predict_table3(config("40B"), &AURORA, &EffModel::default());
+        let ef = p.sustained_flops / 1e18;
+        assert!((ef - 10.21).abs() / 10.21 < 0.15, "model {ef:.2} EF vs 10.21");
+        assert!((p.mfu - 0.384).abs() < 0.08, "model MFU {:.3} vs 0.384", p.mfu);
+        // ~50 samples/s at full scale (paper §VII-A).
+        assert!((p.samples_per_s - 50.0).abs() < 15.0, "{} samples/s", p.samples_per_s);
+        assert_eq!(p.nodes, 10_080);
+    }
+
+    #[test]
+    fn peak_exceeds_sustained_by_the_sync_gap() {
+        let eff = EffModel::default();
+        for c in &PAPER_CONFIGS {
+            let machine = if c.name.ends_with("(L)") { &LUMI } else { &AURORA };
+            let p = predict_table3(c, machine, &eff);
+            assert!(p.peak_flops > p.sustained_flops, "{}", c.name);
+            let ratio = p.peak_flops / p.sustained_flops;
+            assert!(ratio < 1.35, "{}: unrealistic sync gap {ratio}", c.name);
+        }
+    }
+
+    #[test]
+    fn mfu_ordering_matches_paper() {
+        // 40B is the most efficient; 1.3B the least (small kernels).
+        let eff = EffModel::default();
+        let mfus: Vec<f64> = ["1.3B", "13B", "40B", "80B"]
+            .iter()
+            .map(|n| predict_table3(config(n), &AURORA, &eff).mfu)
+            .collect();
+        assert!(mfus[2] > mfus[1] && mfus[2] > mfus[3], "40B must lead: {mfus:?}");
+        assert!(mfus[0] < mfus[2], "1.3B must trail 40B");
+    }
+
+    #[test]
+    fn training_time_estimate_matches_paper() {
+        // "At this pace, it would take approximately 15 hours to complete
+        // training for 3M samples" (40B at full scale).
+        let p = predict_table3(config("40B"), &AURORA, &EffModel::default());
+        let hours = 3.0e6 / p.samples_per_s / 3600.0;
+        assert!((10.0..25.0).contains(&hours), "model predicts {hours:.1} h, paper ~15 h");
+    }
+}

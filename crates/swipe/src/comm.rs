@@ -1,0 +1,496 @@
+//! Thread-rank communicator with byte-accurate traffic accounting.
+//!
+//! Message passing uses a shared mailbox keyed by `(src, dst, tag)`; tags are
+//! derived from per-(pair/group) operation counters so that, as on a real
+//! interconnect, matching is by order within a channel and collectives cannot
+//! cross-talk. Collectives are deterministic: reductions combine contributions
+//! in group-rank order regardless of arrival order, so distributed runs are
+//! bitwise reproducible for a fixed topology.
+
+use aeris_tensor::Tensor;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Traffic class, matching the paper's communication breakdown (§V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommClass {
+    /// Pipeline send/recv (stage-to-stage activations and gradients).
+    P2p,
+    /// Ulysses / window-parallel all-to-all.
+    AllToAll,
+    /// Gradient allreduce.
+    AllReduce,
+    /// ZeRO-1 parameter allgather / broadcast.
+    AllGather,
+    /// Control broadcasts.
+    Broadcast,
+}
+
+const CLASSES: [CommClass; 5] = [
+    CommClass::P2p,
+    CommClass::AllToAll,
+    CommClass::AllReduce,
+    CommClass::AllGather,
+    CommClass::Broadcast,
+];
+
+#[derive(Default)]
+struct Mailbox {
+    slots: Mutex<HashMap<(usize, usize, u64), Vec<Tensor>>>,
+    cond: Condvar,
+}
+
+struct WorldInner {
+    n: usize,
+    mailbox: Mailbox,
+    /// bytes sent per (rank, class).
+    sent: Vec<[AtomicU64; 5]>,
+}
+
+/// A communication world of `n` thread ranks.
+#[derive(Clone)]
+pub struct World {
+    inner: Arc<WorldInner>,
+}
+
+/// Per-rank, per-class traffic totals (bytes).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficReport {
+    pub per_rank: Vec<HashMap<&'static str, u64>>,
+}
+
+impl TrafficReport {
+    /// Total bytes of a class across all ranks.
+    pub fn total(&self, class: CommClass) -> u64 {
+        self.per_rank.iter().map(|m| m.get(class_name(class)).copied().unwrap_or(0)).sum()
+    }
+
+    /// Bytes of a class sent by one rank.
+    pub fn rank_total(&self, rank: usize, class: CommClass) -> u64 {
+        self.per_rank[rank].get(class_name(class)).copied().unwrap_or(0)
+    }
+}
+
+fn class_name(c: CommClass) -> &'static str {
+    match c {
+        CommClass::P2p => "p2p",
+        CommClass::AllToAll => "alltoall",
+        CommClass::AllReduce => "allreduce",
+        CommClass::AllGather => "allgather",
+        CommClass::Broadcast => "broadcast",
+    }
+}
+
+impl World {
+    /// Create a world with `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let sent = (0..n).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect();
+        World { inner: Arc::new(WorldInner { n, mailbox: Mailbox::default(), sent }) }
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.n
+    }
+
+    /// A communicator handle for `rank`.
+    pub fn communicator(&self, rank: usize) -> Communicator {
+        assert!(rank < self.inner.n);
+        Communicator { rank, world: self.clone(), chan_seq: HashMap::new(), group_seq: HashMap::new() }
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn traffic(&self) -> TrafficReport {
+        let per_rank = self
+            .inner
+            .sent
+            .iter()
+            .map(|counters| {
+                CLASSES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (class_name(c), counters[i].load(Ordering::Relaxed)))
+                    .collect()
+            })
+            .collect();
+        TrafficReport { per_rank }
+    }
+
+    /// Reset traffic counters.
+    pub fn reset_traffic(&self) {
+        for counters in &self.inner.sent {
+            for c in counters {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn account(&self, rank: usize, class: CommClass, bytes: u64) {
+        let i = CLASSES.iter().position(|&c| c == class).unwrap();
+        self.inner.sent[rank][i].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn put(&self, src: usize, dst: usize, tag: u64, payload: Vec<Tensor>) {
+        let mut slots = self.inner.mailbox.slots.lock();
+        let prev = slots.insert((src, dst, tag), payload);
+        assert!(prev.is_none(), "duplicate message ({src}->{dst}, tag {tag})");
+        self.inner.mailbox.cond.notify_all();
+    }
+
+    fn take(&self, src: usize, dst: usize, tag: u64) -> Vec<Tensor> {
+        let mut slots = self.inner.mailbox.slots.lock();
+        loop {
+            if let Some(p) = slots.remove(&(src, dst, tag)) {
+                return p;
+            }
+            self.inner.mailbox.cond.wait(&mut slots);
+        }
+    }
+}
+
+/// A rank's endpoint into the world. Not `Clone`: one per rank thread.
+pub struct Communicator {
+    rank: usize,
+    world: World,
+    /// Sequence counters per peer channel (send side and recv side advance in
+    /// lockstep because each directed channel is FIFO-by-construction).
+    chan_seq: HashMap<(usize, usize), u64>,
+    /// Sequence counters per collective group.
+    group_seq: HashMap<Vec<usize>, u64>,
+}
+
+impl Communicator {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world_size(&self) -> usize {
+        self.world.size()
+    }
+
+    fn next_chan_tag(&mut self, src: usize, dst: usize) -> u64 {
+        let c = self.chan_seq.entry((src, dst)).or_insert(0);
+        let t = *c;
+        *c += 1;
+        t
+    }
+
+    /// Per-group operation tag: a fingerprint of the member list mixed with a
+    /// per-group sequence counter. Distinct groups that share rank pairs must
+    /// not collide in the mailbox, so the group identity is part of the tag.
+    fn next_group_tag(&mut self, group: &[usize]) -> u64 {
+        let c = self.group_seq.entry(group.to_vec()).or_insert(0);
+        let count = *c;
+        *c += 1;
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &r in group {
+            h ^= r as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= count.wrapping_mul(0x9E3779B97F4A7C15);
+        h = h.wrapping_mul(0x100000001b3);
+        // Reserve the low 16 bits for the member index.
+        h << 16
+    }
+
+    fn payload_bytes(payload: &[Tensor]) -> u64 {
+        payload.iter().map(|t| 4 * t.len() as u64).sum()
+    }
+
+    /// Send tensors to `dst` (non-blocking; buffered in the mailbox).
+    pub fn send(&mut self, dst: usize, class: CommClass, payload: Vec<Tensor>) {
+        let tag = self.next_chan_tag(self.rank, dst);
+        self.world.account(self.rank, class, Self::payload_bytes(&payload));
+        self.world.put(self.rank, dst, tag, payload);
+    }
+
+    /// Blocking receive of the next message from `src`.
+    pub fn recv(&mut self, src: usize) -> Vec<Tensor> {
+        let tag = self.next_chan_tag(src, self.rank);
+        self.world.take(src, self.rank, tag)
+    }
+
+    /// Barrier over a group (all members must call with the identical group).
+    pub fn barrier(&mut self, group: &[usize]) {
+        let _ = self.allgather(group, CommClass::Broadcast, Tensor::zeros(&[1]));
+    }
+
+    /// All-to-all within `group`: `chunks[j]` goes to group member `j`;
+    /// returns the chunks received from each member (self-chunk passes
+    /// through untouched and un-accounted, as on a real interconnect).
+    pub fn alltoall(&mut self, group: &[usize], mut chunks: Vec<Tensor>) -> Vec<Tensor> {
+        assert_eq!(chunks.len(), group.len());
+        let tag_base = self.next_group_tag(group);
+        let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
+        // Post sends.
+        for (j, &dst) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let payload = vec![std::mem::replace(&mut chunks[j], Tensor::zeros(&[0]))];
+            self.world.account(self.rank, CommClass::AllToAll, Self::payload_bytes(&payload));
+            self.world.put(self.rank, dst, tag_base | j as u64, payload);
+        }
+        // Collect receives.
+        let mut out = Vec::with_capacity(group.len());
+        for (j, &src) in group.iter().enumerate() {
+            if j == me {
+                out.push(std::mem::replace(&mut chunks[me], Tensor::zeros(&[0])));
+            } else {
+                let mut p = self.world.take(src, self.rank, tag_base | me as u64);
+                assert_eq!(p.len(), 1);
+                out.push(p.pop().unwrap());
+            }
+        }
+        out
+    }
+
+    /// Allgather within `group`: returns every member's tensor, in group
+    /// order.
+    pub fn allgather(&mut self, group: &[usize], class: CommClass, value: Tensor) -> Vec<Tensor> {
+        let tag_base = self.next_group_tag(group);
+        let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
+        for (j, &dst) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let payload = vec![value.clone()];
+            self.world.account(self.rank, class, Self::payload_bytes(&payload));
+            self.world.put(self.rank, dst, tag_base | me as u64, payload);
+        }
+        let mut out = Vec::with_capacity(group.len());
+        for (j, &src) in group.iter().enumerate() {
+            if j == me {
+                out.push(value.clone());
+            } else {
+                let mut p = self.world.take(src, self.rank, tag_base | j as u64);
+                out.push(p.pop().unwrap());
+            }
+        }
+        out
+    }
+
+    /// Sum-allreduce within `group`, implemented as reduce-scatter +
+    /// allgather so per-rank traffic is ≈ 2×data regardless of group size
+    /// (the bandwidth-optimal ring volume — this is what makes the paper's
+    /// "gradient-allreduce volume is unchanged by WP" claim measurable).
+    /// Deterministic: every chunk is reduced in group order by its owner.
+    pub fn allreduce_sum(&mut self, group: &[usize], value: &Tensor) -> Tensor {
+        let n = group.len();
+        if n == 1 {
+            return value.clone();
+        }
+        let tag_base = self.next_group_tag(group);
+        let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
+        let len = value.len();
+        let chunk_bounds = |j: usize| {
+            let lo = len * j / n;
+            let hi = len * (j + 1) / n;
+            (lo, hi)
+        };
+        // Reduce-scatter: send my slice of chunk j to its owner j.
+        for (j, &dst) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let (lo, hi) = chunk_bounds(j);
+            let payload = vec![Tensor::from_slice(&value.data()[lo..hi])];
+            self.world.account(self.rank, CommClass::AllReduce, Self::payload_bytes(&payload));
+            self.world.put(self.rank, dst, tag_base | j as u64, payload);
+        }
+        let (mlo, mhi) = chunk_bounds(me);
+        let mut mine: Vec<f32> = value.data()[mlo..mhi].to_vec();
+        // Deterministic accumulation: add contributions in group order.
+        let mut contributions: Vec<Option<Tensor>> = vec![None; n];
+        for (j, &src) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let mut p = self.world.take(src, self.rank, tag_base | me as u64);
+            contributions[j] = Some(p.pop().unwrap());
+        }
+        for (j, c) in contributions.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let c = c.as_ref().unwrap();
+            for (m, &v) in mine.iter_mut().zip(c.data()) {
+                *m += v;
+            }
+        }
+        // Allgather the reduced chunks.
+        let reduced = Tensor::from_slice(&mine);
+        let tag2 = self.next_group_tag(group);
+        for (j, &dst) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let payload = vec![reduced.clone()];
+            self.world.account(self.rank, CommClass::AllReduce, Self::payload_bytes(&payload));
+            self.world.put(self.rank, dst, tag2 | me as u64, payload);
+        }
+        let mut out = vec![0.0f32; len];
+        out[mlo..mhi].copy_from_slice(&mine);
+        for (j, &src) in group.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let p = self.world.take(src, self.rank, tag2 | j as u64);
+            let (lo, hi) = chunk_bounds(j);
+            out[lo..hi].copy_from_slice(p[0].data());
+        }
+        Tensor::from_vec(value.shape(), out)
+    }
+
+    /// Broadcast from `group[root_ix]` to the group.
+    pub fn broadcast(&mut self, group: &[usize], root_ix: usize, value: Option<Tensor>) -> Tensor {
+        let tag_base = self.next_group_tag(group);
+        let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
+        if me == root_ix {
+            let v = value.expect("root must provide a value");
+            for (j, &dst) in group.iter().enumerate() {
+                if j == me {
+                    continue;
+                }
+                let payload = vec![v.clone()];
+                self.world.account(self.rank, CommClass::AllGather, Self::payload_bytes(&payload));
+                self.world.put(self.rank, dst, tag_base | j as u64, payload);
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root must not provide a value");
+            let mut p = self.world.take(group[root_ix], self.rank, tag_base | me as u64);
+            p.pop().unwrap()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_tensor::Rng;
+    use std::thread;
+
+    fn run_ranks<F>(n: usize, f: F) -> Vec<TrafficReport>
+    where
+        F: Fn(Communicator) + Sync,
+    {
+        let world = World::new(n);
+        thread::scope(|s| {
+            for r in 0..n {
+                let comm = world.communicator(r);
+                let f = &f;
+                s.spawn(move || f(comm));
+            }
+        });
+        vec![world.traffic()]
+    }
+
+    #[test]
+    fn send_recv_roundtrip_and_fifo_order() {
+        run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[1.0])]);
+                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[2.0])]);
+            } else {
+                let a = c.recv(0);
+                let b = c.recv(0);
+                assert_eq!(a[0].data(), &[1.0]);
+                assert_eq!(b[0].data(), &[2.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_sums_deterministically() {
+        let group: Vec<usize> = (0..4).collect();
+        run_ranks(4, |mut c| {
+            let v = Tensor::from_slice(&[c.rank() as f32, 1.0]);
+            let g = group.clone();
+            let out = c.allreduce_sum(&g, &v);
+            assert_eq!(out.data(), &[6.0, 4.0]);
+            // Repeat to exercise tag sequencing.
+            let out2 = c.allreduce_sum(&g, &v);
+            assert_eq!(out2.data(), &[6.0, 4.0]);
+        });
+    }
+
+    #[test]
+    fn alltoall_exchanges_correct_chunks() {
+        let group: Vec<usize> = (0..3).collect();
+        run_ranks(3, |mut c| {
+            let r = c.rank() as f32;
+            let chunks: Vec<Tensor> =
+                (0..3).map(|j| Tensor::from_slice(&[r * 10.0 + j as f32])).collect();
+            let out = c.alltoall(&group, chunks);
+            for (j, t) in out.iter().enumerate() {
+                // Received from member j: their chunk addressed to me.
+                assert_eq!(t.data(), &[j as f32 * 10.0 + r]);
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        let group: Vec<usize> = (0..3).collect();
+        run_ranks(3, |mut c| {
+            let v = if c.rank() == 1 { Some(Tensor::from_slice(&[7.0, 8.0])) } else { None };
+            let out = c.broadcast(&group, 1, v);
+            assert_eq!(out.data(), &[7.0, 8.0]);
+        });
+    }
+
+    #[test]
+    fn subgroup_collectives_do_not_interfere() {
+        // Two disjoint groups run different numbers of collectives.
+        run_ranks(4, |mut c| {
+            let g = if c.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let reps = if c.rank() < 2 { 3 } else { 5 };
+            for i in 0..reps {
+                let v = Tensor::from_slice(&[i as f32]);
+                let out = c.allreduce_sum(&g, &v);
+                assert_eq!(out.data(), &[2.0 * i as f32]);
+            }
+        });
+    }
+
+    #[test]
+    fn traffic_accounting_counts_sent_bytes() {
+        let world = World::new(2);
+        thread::scope(|s| {
+            let mut c0 = world.communicator(0);
+            let mut c1 = world.communicator(1);
+            s.spawn(move || {
+                c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[10])]);
+            });
+            s.spawn(move || {
+                let _ = c1.recv(0);
+            });
+        });
+        let t = world.traffic();
+        assert_eq!(t.rank_total(0, CommClass::P2p), 40);
+        assert_eq!(t.rank_total(1, CommClass::P2p), 0);
+        assert_eq!(t.total(CommClass::AllToAll), 0);
+        world.reset_traffic();
+        assert_eq!(world.traffic().total(CommClass::P2p), 0);
+    }
+
+    #[test]
+    fn stress_concurrent_collectives() {
+        let group: Vec<usize> = (0..8).collect();
+        run_ranks(8, |mut c| {
+            let mut rng = Rng::seed_from(c.rank() as u64);
+            for _ in 0..20 {
+                let v = Tensor::randn(&[16], &mut rng);
+                let parts = c.allgather(&group, CommClass::AllGather, v.clone());
+                assert_eq!(parts.len(), 8);
+                assert_eq!(parts[c.rank()], v);
+            }
+        });
+    }
+}

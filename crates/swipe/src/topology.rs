@@ -1,0 +1,210 @@
+//! The SWiPe rank grid: DP × PP × WP(A×B) × SP.
+//!
+//! One model instance occupies `PP × WP_A × WP_B × SP` ranks (the paper's
+//! "nodes needed to run a single model instance is WP × PP", with SP ranks
+//! inside each node); data parallelism replicates instances.
+
+/// Topology extents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwipeTopology {
+    /// Data-parallel replicas.
+    pub dp: usize,
+    /// Pipeline stages (= Swin layers + 2, §VII-A).
+    pub pp: usize,
+    /// Window-parallel grid rows (A).
+    pub wp_a: usize,
+    /// Window-parallel grid cols (B).
+    pub wp_b: usize,
+    /// Sequence-parallel (Ulysses) degree within a window group.
+    pub sp: usize,
+}
+
+/// Coordinates of one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankCoords {
+    pub dp: usize,
+    pub stage: usize,
+    pub wp_row: usize,
+    pub wp_col: usize,
+    pub sp: usize,
+}
+
+impl SwipeTopology {
+    /// Validate and construct.
+    pub fn new(dp: usize, pp: usize, wp_a: usize, wp_b: usize, sp: usize) -> Self {
+        assert!(dp >= 1 && pp >= 1 && wp_a >= 1 && wp_b >= 1 && sp >= 1);
+        SwipeTopology { dp, pp, wp_a, wp_b, sp }
+    }
+
+    /// Window-parallel degree WP = A×B.
+    pub fn wp(&self) -> usize {
+        self.wp_a * self.wp_b
+    }
+
+    /// Ranks per model instance (PP × WP × SP).
+    pub fn model_ranks(&self) -> usize {
+        self.pp * self.wp() * self.sp
+    }
+
+    /// Total world size.
+    pub fn world_size(&self) -> usize {
+        self.dp * self.model_ranks()
+    }
+
+    /// Flatten coordinates to a rank id. Layout: dp-major, then stage, then
+    /// wp_row, wp_col, sp (sp fastest — "SP groups confined within a node").
+    pub fn rank_of(&self, c: RankCoords) -> usize {
+        debug_assert!(c.dp < self.dp && c.stage < self.pp);
+        debug_assert!(c.wp_row < self.wp_a && c.wp_col < self.wp_b && c.sp < self.sp);
+        (((c.dp * self.pp + c.stage) * self.wp_a + c.wp_row) * self.wp_b + c.wp_col) * self.sp
+            + c.sp
+    }
+
+    /// Inverse of [`SwipeTopology::rank_of`].
+    pub fn coords_of(&self, rank: usize) -> RankCoords {
+        assert!(rank < self.world_size());
+        let sp = rank % self.sp;
+        let rest = rank / self.sp;
+        let wp_col = rest % self.wp_b;
+        let rest = rest / self.wp_b;
+        let wp_row = rest % self.wp_a;
+        let rest = rest / self.wp_a;
+        let stage = rest % self.pp;
+        let dp = rest / self.pp;
+        RankCoords { dp, stage, wp_row, wp_col, sp }
+    }
+
+    /// The SP (Ulysses) group of a rank: same dp/stage/wp, all sp.
+    pub fn sp_group(&self, c: RankCoords) -> Vec<usize> {
+        (0..self.sp).map(|sp| self.rank_of(RankCoords { sp, ..c })).collect()
+    }
+
+    /// The gradient-reduction group for stage-local parameters: same stage,
+    /// all dp × wp × sp (the paper: WP reduces message sizes but "overhead
+    /// from gradient allreduce remains unchanged" — the reduction spans all
+    /// replicas of the stage's weights).
+    pub fn grad_group(&self, c: RankCoords) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dp * self.wp() * self.sp);
+        for dp in 0..self.dp {
+            for wp_row in 0..self.wp_a {
+                for wp_col in 0..self.wp_b {
+                    for sp in 0..self.sp {
+                        out.push(self.rank_of(RankCoords { dp, wp_row, wp_col, sp, ..c }));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All ranks (for globally replicated parameters, e.g. the shared time
+    /// conditioner).
+    pub fn all_ranks(&self) -> Vec<usize> {
+        (0..self.world_size()).collect()
+    }
+
+    /// All ranks of the interior (Swin-block) stages, across dp/wp/sp — the
+    /// reduction group for the shared time-conditioner parameters, which are
+    /// replicated in every block stage but absent from the edge stages.
+    pub fn block_stage_ranks(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for dp in 0..self.dp {
+            for stage in 1..self.pp - 1 {
+                out.extend(self.stage_ranks(dp, stage));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The rank in the next pipeline stage with the same (dp, wp, sp).
+    pub fn next_stage(&self, c: RankCoords) -> Option<RankCoords> {
+        (c.stage + 1 < self.pp).then(|| RankCoords { stage: c.stage + 1, ..c })
+    }
+
+    /// The rank in the previous pipeline stage.
+    pub fn prev_stage(&self, c: RankCoords) -> Option<RankCoords> {
+        (c.stage > 0).then(|| RankCoords { stage: c.stage - 1, ..c })
+    }
+
+    /// All ranks of one stage within a dp replica (targets of a relayout).
+    pub fn stage_ranks(&self, dp: usize, stage: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for wp_row in 0..self.wp_a {
+            for wp_col in 0..self.wp_b {
+                for sp in 0..self.sp {
+                    out.push(self.rank_of(RankCoords { dp, stage, wp_row, wp_col, sp }));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let t = SwipeTopology::new(2, 3, 2, 2, 2);
+        assert_eq!(t.world_size(), 48);
+        for r in 0..t.world_size() {
+            assert_eq!(t.rank_of(t.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn sp_group_is_contiguous() {
+        let t = SwipeTopology::new(1, 2, 2, 1, 4);
+        let c = t.coords_of(9);
+        let g = t.sp_group(c);
+        assert_eq!(g.len(), 4);
+        for w in g.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "SP ranks must be adjacent (intra-node)");
+        }
+        assert!(g.contains(&9));
+    }
+
+    #[test]
+    fn grad_group_spans_dp_wp_sp_same_stage() {
+        let t = SwipeTopology::new(2, 3, 2, 1, 2);
+        let c = t.coords_of(t.rank_of(RankCoords { dp: 0, stage: 1, wp_row: 0, wp_col: 0, sp: 0 }));
+        let g = t.grad_group(c);
+        assert_eq!(g.len(), 2 * 2 * 1 * 2);
+        for &r in &g {
+            assert_eq!(t.coords_of(r).stage, 1);
+        }
+    }
+
+    #[test]
+    fn stage_neighbors() {
+        let t = SwipeTopology::new(1, 3, 1, 1, 1);
+        let c0 = t.coords_of(0);
+        assert_eq!(c0.stage, 0);
+        assert!(t.prev_stage(c0).is_none());
+        let c1 = t.next_stage(c0).unwrap();
+        assert_eq!(c1.stage, 1);
+        let c2 = t.next_stage(c1).unwrap();
+        assert!(t.next_stage(c2).is_none());
+    }
+
+    #[test]
+    fn model_ranks_matches_paper_formula() {
+        // Table II: nodes per instance = WP × PP (SP inside the node).
+        let t = SwipeTopology::new(1, 12, 2, 2, 12);
+        assert_eq!(t.model_ranks() / t.sp, 4 * 12);
+    }
+
+    #[test]
+    fn stage_ranks_cover_wp_sp() {
+        let t = SwipeTopology::new(2, 2, 2, 2, 2);
+        let ranks = t.stage_ranks(1, 0);
+        assert_eq!(ranks.len(), 8);
+        for &r in &ranks {
+            let c = t.coords_of(r);
+            assert_eq!(c.dp, 1);
+            assert_eq!(c.stage, 0);
+        }
+    }
+}

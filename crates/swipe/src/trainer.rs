@@ -1,0 +1,528 @@
+//! End-to-end distributed SWiPe training.
+//!
+//! Each rank runs the 1F1B schedule over its stage, with window/sequence
+//! parallel activations inside each block, shared-seed diffusion times across
+//! model-parallel ranks (§VI-B), gradient reduction over DP×WP×SP, and a
+//! ZeRO-1-style sharded optimizer (owner-updates + parameter broadcast).
+//!
+//! [`reference_grads`] computes the *same* objective on a single rank with
+//! the same noise realizations, enabling the distributed ≡ single-rank
+//! equivalence tests in `tests/`.
+
+use crate::comm::{CommClass, Communicator, TrafficReport, World};
+use crate::data::{gather, Field, WindowSource};
+use crate::layout::ActLayout;
+use crate::schedule::{one_f_one_b, Action};
+use crate::stage::{StageKind, StageModel, StageRun};
+use crate::topology::{RankCoords, SwipeTopology};
+use aeris_core::AerisModel;
+use aeris_diffusion::TrigFlow;
+use aeris_nn::window::WindowGrid;
+use aeris_nn::{AdamW, AdamWConfig, ParamId, RopeTable};
+use aeris_tensor::{Rng, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Distributed training configuration.
+#[derive(Clone, Debug)]
+pub struct SwipeConfig {
+    pub topo: SwipeTopology,
+    /// Gradient accumulation steps = microbatches per model replica per step.
+    pub gas: usize,
+    /// Training steps to run.
+    pub n_steps: usize,
+    /// Learning rate (constant for these short equivalence runs).
+    pub lr: f32,
+    /// Base seed for diffusion times and noise fields.
+    pub seed: u64,
+    pub adamw: AdamWConfig,
+}
+
+/// What a training run reports back.
+pub struct TrainReport {
+    /// Global objective per step.
+    pub losses: Vec<f64>,
+    /// Communication traffic by class.
+    pub traffic: TrafficReport,
+    /// Maximum concurrently-live activation elements on any rank.
+    pub max_activation_elems: usize,
+    /// Final parameters (reference-model names), from the dp=0/wp=(0,0)/sp=0
+    /// replica of each stage.
+    pub final_params: HashMap<String, Tensor>,
+}
+
+/// The shared diffusion time for (step, dp, microbatch): identical on every
+/// model-parallel rank, independent across data-parallel replicas.
+pub fn shared_t(tf: &TrigFlow, seed: u64, step: usize, dp: usize, m: usize) -> f32 {
+    let key = (step as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((dp as u64) << 32)
+        .wrapping_add(m as u64);
+    let mut rng = Rng::seed_from(seed ^ 0x7117).stream(key);
+    tf.sample_t(&mut rng)
+}
+
+/// Deterministic per-token Gaussian noise rows: spatially uncorrelated and
+/// independent per sample, but reproducible by any rank that knows the token
+/// ids (the first and last pipeline stages need the same `z`).
+pub fn noise_rows(seed: u64, sample: usize, tokens: &[usize], channels: usize) -> Tensor {
+    let base = Rng::seed_from(seed ^ 0x2077).stream(sample as u64);
+    let mut out = Tensor::zeros(&[tokens.len(), channels]);
+    for (r, &tok) in tokens.iter().enumerate() {
+        let mut rng = base.stream(tok as u64 + 1);
+        for c in 0..channels {
+            *out.at_mut(&[r, c]) = rng.normal();
+        }
+    }
+    out
+}
+
+/// Single-rank reference: the identical objective, noise, and gradient
+/// averaging as one distributed step, computed on the full model. Returns
+/// (mean loss, per-parameter-name gradients).
+pub fn reference_grads(
+    model: &AerisModel,
+    source: &dyn WindowSource,
+    step_schedule: &[Vec<usize>],
+    weights: &Tensor,
+    seed: u64,
+    step: usize,
+) -> (f64, HashMap<String, Tensor>) {
+    let tf = TrigFlow::default();
+    let tokens: Vec<usize> = (0..model.cfg.tokens()).collect();
+    let mut acc: Vec<Option<Tensor>> = vec![None; model.store.len()];
+    let mut total_loss = 0.0;
+    let mut count = 0usize;
+    for (dp, micro) in step_schedule.iter().enumerate() {
+        for (m, &sample) in micro.iter().enumerate() {
+            let t = shared_t(&tf, seed, step, dp, m);
+            let x0 = source.load_rows(sample, Field::Residual, &tokens);
+            let prev = source.load_rows(sample, Field::Prev, &tokens);
+            let forc = source.load_rows(sample, Field::Forcing, &tokens);
+            let z = noise_rows(seed, sample, &tokens, model.cfg.channels);
+            let x_t = tf.interpolate(&x0, &z, t);
+            let v_target = tf.velocity_target(&x0, &z, t);
+            let input = model.assemble_input(&x_t, &prev, &forc);
+            let mut tape = aeris_autodiff::Tape::new();
+            let mut binding = aeris_nn::Binding::new(&model.store);
+            let iv = tape.constant(input);
+            let out = model.forward(&mut tape, &mut binding, iv, t);
+            let loss = tape.weighted_mse(out, &v_target, weights);
+            total_loss += tape.value(loss).data()[0] as f64;
+            let mut grads = tape.backward(loss);
+            for (slot, g) in acc.iter_mut().zip(binding.collect_grads(&mut grads)) {
+                match (slot.as_mut(), g) {
+                    (Some(a), Some(g)) => a.add_assign(&g),
+                    (None, Some(g)) => *slot = Some(g),
+                    _ => {}
+                }
+            }
+            count += 1;
+        }
+    }
+    let inv = 1.0 / count as f32;
+    let mut by_name = HashMap::new();
+    for (i, slot) in acc.into_iter().enumerate() {
+        if let Some(mut g) = slot {
+            g.scale_inplace(inv);
+            by_name.insert(model.store.name(ParamId(i)).to_string(), g);
+        }
+    }
+    (total_loss / count as f64, by_name)
+}
+
+/// The distributed trainer entry point.
+pub struct DistributedTrainer;
+
+impl DistributedTrainer {
+    /// Run `cfg.n_steps` of SWiPe training starting from `reference`'s
+    /// parameters. `schedule[step][dp]` lists the GAS sample indices each
+    /// data-parallel replica consumes at that step.
+    pub fn train(
+        reference: &AerisModel,
+        cfg: &SwipeConfig,
+        source: &(dyn WindowSource + Sync),
+        schedule: &[Vec<Vec<usize>>],
+        weights: &Tensor,
+    ) -> TrainReport {
+        let topo = cfg.topo;
+        assert_eq!(
+            topo.pp,
+            reference.cfg.n_layers * reference.cfg.blocks_per_layer + 2,
+            "pipeline stages must equal blocks + 2 (separated I/O/embedding stages)"
+        );
+        assert_eq!(schedule.len(), cfg.n_steps);
+        for s in schedule {
+            assert_eq!(s.len(), topo.dp);
+            for micro in s {
+                assert_eq!(micro.len(), cfg.gas);
+            }
+        }
+        let world = World::new(topo.world_size());
+        let losses: Mutex<Vec<f64>> = Mutex::new(vec![0.0; cfg.n_steps]);
+        let final_params: Mutex<HashMap<String, Tensor>> = Mutex::new(HashMap::new());
+        let max_act = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for rank in 0..topo.world_size() {
+                let comm = world.communicator(rank);
+                let losses = &losses;
+                let final_params = &final_params;
+                let max_act = &max_act;
+                scope.spawn(move || {
+                    run_rank(
+                        comm, topo, cfg, reference, source, schedule, weights, losses,
+                        final_params, max_act,
+                    );
+                });
+            }
+        });
+
+        TrainReport {
+            losses: losses.into_inner(),
+            traffic: world.traffic(),
+            max_activation_elems: max_act.load(Ordering::Relaxed),
+            final_params: final_params.into_inner(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    mut comm: Communicator,
+    topo: SwipeTopology,
+    cfg: &SwipeConfig,
+    reference: &AerisModel,
+    source: &(dyn WindowSource + Sync),
+    schedule: &[Vec<Vec<usize>>],
+    weights: &Tensor,
+    losses: &Mutex<Vec<f64>>,
+    final_params: &Mutex<HashMap<String, Tensor>>,
+    max_act: &AtomicUsize,
+) {
+    let coords = topo.coords_of(comm.rank());
+    let mcfg = &reference.cfg;
+    let grid = WindowGrid::new(mcfg.grid_h, mcfg.grid_w, mcfg.window.0, mcfg.window.1);
+    let n_blocks = topo.pp - 2;
+    let tf = TrigFlow::default();
+
+    let kind = match coords.stage {
+        0 => StageKind::Input,
+        s if s == topo.pp - 1 => StageKind::Head,
+        s => StageKind::Block(s - 1),
+    };
+    let stage_model = StageModel::from_reference(reference, kind);
+
+    // Layouts: stage 0 uses block 0's layout; block b its own; head uses the
+    // last block's.
+    let block_layout = |b: usize| {
+        ActLayout::new(grid, reference.blocks[b].shifted, topo.wp_a, topo.wp_b, topo.sp)
+    };
+    let my_layout = match kind {
+        StageKind::Input => block_layout(0),
+        StageKind::Block(b) => block_layout(b),
+        StageKind::Head => block_layout(n_blocks - 1),
+    };
+    let next_layout = match kind {
+        StageKind::Input => Some(block_layout(0)),
+        StageKind::Block(b) if b + 1 < n_blocks => Some(block_layout(b + 1)),
+        StageKind::Block(b) => {
+            debug_assert_eq!(b, n_blocks - 1);
+            Some(block_layout(n_blocks - 1))
+        }
+        StageKind::Head => None,
+    };
+    let prev_layout = match kind {
+        StageKind::Input => None,
+        StageKind::Block(0) => Some(block_layout(0)),
+        StageKind::Block(b) => Some(block_layout(b - 1)),
+        StageKind::Head => Some(block_layout(n_blocks - 1)),
+    };
+
+    let rope = RopeTable::new(mcfg.window.0, mcfg.window.1, mcfg.head_dim(), 0, 0);
+    let sp_group = topo.sp_group(coords);
+    let my_tokens = my_layout.tokens_of(coords.wp_row, coords.wp_col, coords.sp);
+    let my_pos: Tensor = {
+        let mut t = Tensor::zeros(&[my_tokens.len()]);
+        for (i, &tok) in my_tokens.iter().enumerate() {
+            t.data_mut()[i] = reference.pos_field.data()[tok];
+        }
+        t
+    };
+    let my_weight_rows = gather(weights, &my_tokens);
+
+    // ZeRO-1 ownership: stage-local params shard over the stage's gradient
+    // group; globally shared (time.*) params shard over all ranks.
+    let grad_group = topo.grad_group(coords);
+    let all_ranks = topo.all_ranks();
+    // Shared (time-conditioner) params are replicated across the interior
+    // stages only; their reduction group must exclude the edge stages, which
+    // do not hold them (they would otherwise never join the collective).
+    let shared_group = topo.block_stage_ranks();
+    let shared_ixs: Vec<usize> = stage_model.shared_param_ixs();
+    let mut opt = AdamW::new(&stage_model.store, cfg.adamw);
+    let mut stage_model = stage_model;
+
+    let actions = one_f_one_b(coords.stage, topo.pp, cfg.gas);
+    let dim = mcfg.dim;
+
+    for step in 0..cfg.n_steps {
+        let mut runs: HashMap<usize, StageRun> = HashMap::new();
+        let mut grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
+        let mut my_loss = 0.0f64;
+
+        for action in &actions {
+            match *action {
+                Action::Forward(m) => {
+                    let sample = schedule[step][coords.dp][m];
+                    let t = shared_t(&tf, cfg.seed, step, coords.dp, m);
+                    match kind {
+                        StageKind::Input => {
+                            let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
+                            let prev = source.load_rows(sample, Field::Prev, &my_tokens);
+                            let forc = source.load_rows(sample, Field::Forcing, &my_tokens);
+                            let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
+                            let x_t = tf.interpolate(&x0, &z, t);
+                            let cat = Tensor::concat_cols(&[&x_t, &prev, &forc]);
+                            let input = aeris_nn::posenc::add_pos_encoding(&cat, &my_pos);
+                            let run = stage_model.forward_input(input);
+                            send_relayout(
+                                &mut comm, &topo, coords, &my_layout,
+                                next_layout.as_ref().unwrap(),
+                                run.tape.value(run.out),
+                            );
+                            runs.insert(m, run);
+                        }
+                        StageKind::Block(_) => {
+                            let x_in = recv_relayout(
+                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                &my_layout, my_layout.rows_per_rank(), dim,
+                            );
+                            let run = stage_model.forward_block(
+                                x_in, t, &my_layout, &rope, &mut comm, &sp_group,
+                            );
+                            send_relayout(
+                                &mut comm, &topo, coords, &my_layout,
+                                next_layout.as_ref().unwrap(),
+                                run.tape.value(run.out),
+                            );
+                            runs.insert(m, run);
+                        }
+                        StageKind::Head => {
+                            let x_in = recv_relayout(
+                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                &my_layout, my_layout.rows_per_rank(), dim,
+                            );
+                            let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
+                            let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
+                            let v_target = tf.velocity_target(&x0, &z, t);
+                            let run = stage_model.forward_head(
+                                x_in, &v_target, &my_weight_rows, mcfg.tokens(),
+                            );
+                            my_loss += run.loss;
+                            runs.insert(m, run);
+                        }
+                    }
+                }
+                Action::Backward(m) => {
+                    let run = runs.remove(&m).expect("forward before backward");
+                    match kind {
+                        StageKind::Head => {
+                            let g_in = stage_model.backward_head(run, &mut grads);
+                            send_grads_back(
+                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                &my_layout, &g_in,
+                            );
+                        }
+                        StageKind::Block(_) => {
+                            let g_out = recv_grads_back(
+                                &mut comm, &topo, coords, &my_layout,
+                                next_layout.as_ref().unwrap(),
+                                my_layout.rows_per_rank(), dim,
+                            );
+                            let g_in = stage_model.backward_block(
+                                run, g_out, &mut comm, &sp_group, &mut grads,
+                            );
+                            send_grads_back(
+                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                &my_layout, &g_in,
+                            );
+                        }
+                        StageKind::Input => {
+                            let g_out = recv_grads_back(
+                                &mut comm, &topo, coords, &my_layout,
+                                next_layout.as_ref().unwrap(),
+                                my_layout.rows_per_rank(), dim,
+                            );
+                            stage_model.backward_input(run, g_out, &mut grads);
+                        }
+                    }
+                }
+            }
+            // Activation accounting: all in-flight microbatch tapes.
+            let live: usize = runs.values().map(|r| r.activation_elems()).sum();
+            max_act.fetch_max(live, Ordering::Relaxed);
+        }
+
+        // ---- gradient reduction ----
+        let gbs = (topo.dp * cfg.gas) as f32;
+        for i in 0..stage_model.store.len() {
+            let shape = stage_model.store.get(ParamId(i)).shape().to_vec();
+            let local = grads[i].take().unwrap_or_else(|| Tensor::zeros(&shape));
+            let group: &[usize] =
+                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
+            let mut reduced = comm.allreduce_sum(group, &local);
+            reduced.scale_inplace(1.0 / gbs);
+            grads[i] = Some(reduced);
+        }
+
+        // ---- ZeRO-1 sharded optimizer ----
+        // Owner updates its shard with AdamW state, then broadcasts the fresh
+        // parameter to the group.
+        let mut own_grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
+        for i in 0..stage_model.store.len() {
+            let group: &[usize] =
+                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
+            let owner = group[i % group.len()];
+            if owner == comm.rank() {
+                own_grads[i] = grads[i].take();
+            }
+        }
+        opt.step(&mut stage_model.store, &own_grads, cfg.lr);
+        for i in 0..stage_model.store.len() {
+            let group: &[usize] =
+                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
+            let owner_ix = i % group.len();
+            let value = if group[owner_ix] == comm.rank() {
+                Some(stage_model.store.get(ParamId(i)).clone())
+            } else {
+                None
+            };
+            let fresh = comm.broadcast(group, owner_ix, value);
+            *stage_model.store.get_mut(ParamId(i)) = fresh;
+        }
+
+        // ---- loss reporting: sum local head losses over all ranks ----
+        let loss_sum = comm
+            .allreduce_sum(&all_ranks, &Tensor::from_slice(&[my_loss as f32]))
+            .data()[0] as f64;
+        if comm.rank() == 0 {
+            losses.lock()[step] = loss_sum / (topo.dp * cfg.gas) as f64;
+        }
+    }
+
+    // Contribute final params from the canonical replica.
+    if coords.dp == 0 && coords.wp_row == 0 && coords.wp_col == 0 && coords.sp == 0 {
+        let mut fp = final_params.lock();
+        for (_, name, v) in stage_model.store.iter() {
+            // Shared params exist on every block stage; one copy suffices
+            // (they are kept in sync by construction).
+            fp.entry(name.to_string()).or_insert_with(|| v.clone());
+        }
+    }
+}
+
+/// Send a relayouted activation to the next stage.
+fn send_relayout(
+    comm: &mut Communicator,
+    topo: &SwipeTopology,
+    coords: RankCoords,
+    src_layout: &ActLayout,
+    dst_layout: &ActLayout,
+    value: &Tensor,
+) {
+    for msg in src_layout.routing_to(dst_layout, coords.wp_row, coords.wp_col, coords.sp) {
+        let dst_rank = topo.rank_of(RankCoords {
+            dp: coords.dp,
+            stage: coords.stage + 1,
+            wp_row: msg.dst.0,
+            wp_col: msg.dst.1,
+            sp: msg.dst.2,
+        });
+        let payload = gather(value, &msg.src_rows);
+        comm.send(dst_rank, CommClass::P2p, vec![payload]);
+    }
+}
+
+/// Receive a relayouted activation from the previous stage.
+fn recv_relayout(
+    comm: &mut Communicator,
+    topo: &SwipeTopology,
+    coords: RankCoords,
+    src_layout: &ActLayout,
+    dst_layout: &ActLayout,
+    rows: usize,
+    dim: usize,
+) -> Tensor {
+    let mut out = Tensor::zeros(&[rows, dim]);
+    for ((ra, rb, sp), msg) in
+        ActLayout::routing_from(src_layout, dst_layout, coords.wp_row, coords.wp_col, coords.sp)
+    {
+        let src_rank = topo.rank_of(RankCoords {
+            dp: coords.dp,
+            stage: coords.stage - 1,
+            wp_row: ra,
+            wp_col: rb,
+            sp,
+        });
+        let payload = comm.recv(src_rank).pop().unwrap();
+        for (i, &drow) in msg.dst_rows.iter().enumerate() {
+            out.row_mut(drow).copy_from_slice(payload.row(i));
+        }
+    }
+    out
+}
+
+/// Send input-gradients back to the previous stage (transpose of
+/// [`recv_relayout`]).
+fn send_grads_back(
+    comm: &mut Communicator,
+    topo: &SwipeTopology,
+    coords: RankCoords,
+    src_layout: &ActLayout,
+    dst_layout: &ActLayout,
+    g_in: &Tensor,
+) {
+    for ((ra, rb, sp), msg) in
+        ActLayout::routing_from(src_layout, dst_layout, coords.wp_row, coords.wp_col, coords.sp)
+    {
+        let src_rank = topo.rank_of(RankCoords {
+            dp: coords.dp,
+            stage: coords.stage - 1,
+            wp_row: ra,
+            wp_col: rb,
+            sp,
+        });
+        let payload = gather(g_in, &msg.dst_rows);
+        comm.send(src_rank, CommClass::P2p, vec![payload]);
+    }
+}
+
+/// Receive output-gradients from the next stage (transpose of
+/// [`send_relayout`]).
+fn recv_grads_back(
+    comm: &mut Communicator,
+    topo: &SwipeTopology,
+    coords: RankCoords,
+    src_layout: &ActLayout,
+    dst_layout: &ActLayout,
+    rows: usize,
+    dim: usize,
+) -> Tensor {
+    let mut out = Tensor::zeros(&[rows, dim]);
+    for msg in src_layout.routing_to(dst_layout, coords.wp_row, coords.wp_col, coords.sp) {
+        let dst_rank = topo.rank_of(RankCoords {
+            dp: coords.dp,
+            stage: coords.stage + 1,
+            wp_row: msg.dst.0,
+            wp_col: msg.dst.1,
+            sp: msg.dst.2,
+        });
+        let payload = comm.recv(dst_rank).pop().unwrap();
+        for (i, &srow) in msg.src_rows.iter().enumerate() {
+            out.row_mut(srow).copy_from_slice(payload.row(i));
+        }
+    }
+    out
+}

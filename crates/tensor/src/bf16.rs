@@ -1,0 +1,88 @@
+//! Software bfloat16 emulation.
+//!
+//! The paper runs all compute-intensive kernels in BF16 while keeping
+//! embeddings, master weights, and gradient reductions in FP32 (§V-A "Mixed
+//! precision"). We reproduce that policy in software: [`round_bf16`] rounds an
+//! f32 to the nearest representable bfloat16 value (round-to-nearest-even)
+//! and returns it widened back to f32, so a "BF16 kernel" is an f32 kernel
+//! whose inputs/outputs pass through this rounding.
+
+use crate::Tensor;
+
+/// Round an f32 to bfloat16 precision (RNE) and widen back to f32.
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    let bits = x.to_bits();
+    // bf16 keeps the top 16 bits. Round to nearest, ties to even.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + lsb);
+    f32::from_bits(rounded & 0xFFFF_0000)
+}
+
+impl Tensor {
+    /// Tensor with every element rounded to bfloat16 precision.
+    pub fn to_bf16(&self) -> Tensor {
+        self.map(round_bf16)
+    }
+}
+
+/// Relative rounding error bound for bf16 (8-bit mantissa): 2^-8.
+pub const BF16_EPS: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn exact_values_pass_through() {
+        for &x in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -4.0, 1.5] {
+            assert_eq!(round_bf16(x), x);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut rng = Rng::seed_from(6);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1e6, 1e6);
+            if x == 0.0 {
+                continue;
+            }
+            let r = round_bf16(x);
+            assert!(((r - x) / x).abs() <= BF16_EPS, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..1000 {
+            let x = rng.normal() * 100.0;
+            let once = round_bf16(x);
+            assert_eq!(round_bf16(once), once);
+        }
+    }
+
+    #[test]
+    fn preserves_sign_and_specials() {
+        assert_eq!(round_bf16(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert!(round_bf16(f32::INFINITY).is_infinite());
+        assert!(round_bf16(f32::NEG_INFINITY).is_infinite());
+        let mut rng = Rng::seed_from(8);
+        for _ in 0..100 {
+            let x = rng.normal();
+            assert_eq!(round_bf16(x).is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn tensor_round_trip_error_small() {
+        let mut rng = Rng::seed_from(9);
+        let t = Tensor::randn(&[64], &mut rng);
+        let r = t.to_bf16();
+        for (a, b) in t.data().iter().zip(r.data()) {
+            assert!((a - b).abs() <= a.abs() * BF16_EPS + 1e-30);
+        }
+    }
+}

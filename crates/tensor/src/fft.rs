@@ -1,0 +1,212 @@
+//! Minimal radix-2 complex FFT.
+//!
+//! Used by `aeris-earthsim`'s spectral Poisson solver (inverting vorticity to
+//! a streamfunction on a doubly periodic domain) and by `aeris-evaluation`'s
+//! zonal power spectra. Lengths must be powers of two.
+
+use std::f64::consts::PI;
+
+/// In-place iterative Cooley–Tukey FFT on interleaved complex data
+/// `(re, im)` pairs. `inverse` applies the conjugate transform *without* the
+/// 1/n normalization (callers normalize).
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward 2-D FFT of a real `ny × nx` field; returns interleaved complex
+/// spectra as two `ny*nx` vectors (row-major).
+pub fn fft2_forward(field: &[f32], ny: usize, nx: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(field.len(), ny * nx);
+    let mut re: Vec<f64> = field.iter().map(|&v| v as f64).collect();
+    let mut im = vec![0.0f64; ny * nx];
+    // FFT along rows (x).
+    for r in 0..ny {
+        fft_inplace(&mut re[r * nx..(r + 1) * nx], &mut im[r * nx..(r + 1) * nx], false);
+    }
+    // FFT along columns (y).
+    let mut cre = vec![0.0f64; ny];
+    let mut cim = vec![0.0f64; ny];
+    for c in 0..nx {
+        for r in 0..ny {
+            cre[r] = re[r * nx + c];
+            cim[r] = im[r * nx + c];
+        }
+        fft_inplace(&mut cre, &mut cim, false);
+        for r in 0..ny {
+            re[r * nx + c] = cre[r];
+            im[r * nx + c] = cim[r];
+        }
+    }
+    (re, im)
+}
+
+/// Inverse 2-D FFT back to a real field (imaginary residue discarded),
+/// including the 1/(ny·nx) normalization.
+pub fn fft2_inverse(re: &mut [f64], im: &mut [f64], ny: usize, nx: usize) -> Vec<f32> {
+    assert_eq!(re.len(), ny * nx);
+    let mut cre = vec![0.0f64; ny];
+    let mut cim = vec![0.0f64; ny];
+    for c in 0..nx {
+        for r in 0..ny {
+            cre[r] = re[r * nx + c];
+            cim[r] = im[r * nx + c];
+        }
+        fft_inplace(&mut cre, &mut cim, true);
+        for r in 0..ny {
+            re[r * nx + c] = cre[r];
+            im[r * nx + c] = cim[r];
+        }
+    }
+    for r in 0..ny {
+        fft_inplace(&mut re[r * nx..(r + 1) * nx], &mut im[r * nx..(r + 1) * nx], true);
+    }
+    let norm = 1.0 / (ny * nx) as f64;
+    re.iter().map(|&v| (v * norm) as f32).collect()
+}
+
+/// Power spectrum along the last (x) axis of a real `ny × nx` field, averaged
+/// over rows: returns `nx/2 + 1` band powers.
+pub fn zonal_power_spectrum(field: &[f32], ny: usize, nx: usize) -> Vec<f64> {
+    assert_eq!(field.len(), ny * nx);
+    let half = nx / 2;
+    let mut power = vec![0.0f64; half + 1];
+    let mut re = vec![0.0f64; nx];
+    let mut im = vec![0.0f64; nx];
+    for r in 0..ny {
+        for c in 0..nx {
+            re[c] = field[r * nx + c] as f64;
+            im[c] = 0.0;
+        }
+        fft_inplace(&mut re, &mut im, false);
+        for k in 0..=half {
+            power[k] += (re[k] * re[k] + im[k] * im[k]) / (nx * nx) as f64;
+        }
+    }
+    for p in &mut power {
+        *p /= ny as f64;
+    }
+    power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_1d() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for (a, b) in re.iter().zip(&orig) {
+            assert!((a / n as f64 - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 32;
+        let k = 5;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        for bin in 0..n {
+            let mag = (re[bin] * re[bin] + im[bin] * im[bin]).sqrt();
+            if bin == k || bin == n - k {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-6, "bin {bin} mag {mag}");
+            } else {
+                assert!(mag < 1e-6, "leakage in bin {bin}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let (ny, nx) = (8, 16);
+        let field: Vec<f32> = (0..ny * nx).map(|i| ((i * 13 + 5) % 17) as f32 - 8.0).collect();
+        let (mut re, mut im) = fft2_forward(&field, ny, nx);
+        let back = fft2_inverse(&mut re, &mut im, ny, nx);
+        for (a, b) in back.iter().zip(&field) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_zonal_spectrum() {
+        let (ny, nx) = (4, 32);
+        let field: Vec<f32> = (0..ny * nx).map(|i| ((i * 7 + 1) % 13) as f32 * 0.1).collect();
+        let spec = zonal_power_spectrum(&field, ny, nx);
+        // Sum of per-row mean squares equals sum of spectrum (one-sided:
+        // double interior bins).
+        let mut total_ms = 0.0f64;
+        for r in 0..ny {
+            let row = &field[r * nx..(r + 1) * nx];
+            total_ms += row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / nx as f64;
+        }
+        total_ms /= ny as f64;
+        let mut spec_sum = spec[0] + spec[nx / 2];
+        for k in 1..nx / 2 {
+            spec_sum += 2.0 * spec[k];
+        }
+        assert!((total_ms - spec_sum).abs() < 1e-8, "{total_ms} vs {spec_sum}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_inplace(&mut re, &mut im, false);
+    }
+}

@@ -1,0 +1,78 @@
+//! Dense f32 tensor substrate for the AERIS reproduction.
+//!
+//! This crate provides the numerical foundation used by every other crate in
+//! the workspace:
+//!
+//! - [`Tensor`]: a contiguous, row-major, dynamically shaped f32 array with
+//!   elementwise / reduction / linear-algebra operations,
+//! - [`matmul()`]: rayon-parallel blocked matrix multiplication,
+//! - [`rng::Rng`]: a deterministic SplitMix64-based random number generator
+//!   with Gaussian sampling and seed-derived independent streams,
+//! - [`bf16`]: software emulation of bfloat16 rounding, used to exercise the
+//!   paper's mixed-precision (BF16 compute / FP32 master) path.
+//!
+//! Design notes (per the HPC guides): tensors are always contiguous and owned,
+//! hot loops avoid allocation by writing into preallocated outputs where it
+//! matters, and reductions that feed tests use pairwise summation so results
+//! are stable across run-to-run and chunking changes.
+
+// Numerical kernels here frequently walk several arrays with one shared
+// index; explicit indexed loops are clearer than zipped iterator chains in
+// that style, so the pedantic range-loop lint is disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bf16;
+pub mod fft;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod tensor;
+
+pub use matmul::{matmul, matmul_into, matmul_tn, matmul_nt};
+pub use rng::Rng;
+pub use tensor::Tensor;
+
+/// Pairwise (tree) summation of a slice: O(log n) rounding-error growth and a
+/// deterministic result independent of external chunking.
+pub fn pairwise_sum(xs: &[f32]) -> f64 {
+    const LEAF: usize = 64;
+    fn go(xs: &[f32]) -> f64 {
+        if xs.len() <= LEAF {
+            xs.iter().map(|&x| x as f64).sum()
+        } else {
+            let mid = xs.len() / 2;
+            go(&xs[..mid]) + go(&xs[mid..])
+        }
+    }
+    go(xs)
+}
+
+/// Relative-or-absolute closeness test used across the workspace's tests.
+pub fn close(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_sum_matches_naive_on_small_input() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 * 0.25).collect();
+        let naive: f64 = xs.iter().map(|&x| x as f64).sum();
+        assert!((pairwise_sum(&xs) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_sum_empty_is_zero() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn close_handles_relative_and_absolute() {
+        assert!(close(1e6, 1e6 + 1.0, 1e-5));
+        assert!(close(0.0, 1e-7, 1e-6));
+        assert!(!close(1.0, 2.0, 1e-3));
+    }
+}

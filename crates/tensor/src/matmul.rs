@@ -1,0 +1,224 @@
+//! Rayon-parallel blocked matrix multiplication.
+//!
+//! The kernel is a classic row-major ikj loop with a k-panel so the inner loop
+//! is a unit-stride fused multiply-add over the output row — this vectorizes
+//! well and has no per-element bounds checks after slice hoisting. Rows of the
+//! output are distributed over the rayon pool once `m * n * k` crosses a
+//! threshold; below it the sequential kernel avoids the fork-join overhead.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Above this many multiply-adds, parallelize over output rows.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+#[inline]
+fn mm_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(out_row.len(), n);
+    for (k, &aik) in a_row.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let b_row = &b[k * n..(k + 1) * n];
+        for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+            *o += aik * bkj;
+        }
+    }
+}
+
+/// `C = A @ B` for `A: [m, k]`, `B: [k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(&[a.shape()[0], b.shape()[1]]);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A @ B` written into a preallocated output (contents overwritten).
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(c.shape(), &[m, n], "output shape mismatch");
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let c_data = c.data_mut();
+    c_data.fill(0.0);
+
+    if m * n * k >= PAR_THRESHOLD {
+        c_data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| mm_row(&a_data[i * k..(i + 1) * k], b_data, n, out_row));
+    } else {
+        for i in 0..m {
+            mm_row(&a_data[i * k..(i + 1) * k], b_data, n, &mut c_data[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// `C = A^T @ B` for `A: [k, m]`, `B: [k, n]` — the shape that appears in
+/// weight gradients (`dW = X^T dY`), computed without materializing `A^T`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch in matmul_tn");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut c = Tensor::zeros(&[m, n]);
+    let c_data = c.data_mut();
+
+    // C[i, j] = sum_k A[k, i] * B[k, j]; accumulate row-panels of B scaled by A[k, i].
+    if m * n * k >= PAR_THRESHOLD {
+        c_data.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            for kk in 0..k {
+                let aki = a_data[kk * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aki * bkj;
+                }
+            }
+        });
+    } else {
+        for kk in 0..k {
+            let a_row = &a_data[kk * m..(kk + 1) * m];
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut c_data[i * n..(i + 1) * n];
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aki * bkj;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = A @ B^T` for `A: [m, k]`, `B: [n, k]` — the shape that appears in
+/// input gradients (`dX = dY W^T`) and attention scores (`Q K^T`), computed
+/// without materializing `B^T`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch in matmul_nt");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut c = Tensor::zeros(&[m, n]);
+    let c_data = c.data_mut();
+
+    let row_job = |i: usize, out_row: &mut [f32]| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD {
+        c_data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| row_job(i, out_row));
+    } else {
+        for (i, out_row) in c_data.chunks_mut(n).enumerate() {
+            row_job(i, out_row);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += (a.at(&[i, kk]) * b.at(&[kk, j])) as f64;
+                }
+                *c.at_mut(&[i, j]) = s as f32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[5, 9], &mut rng);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel_path() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::randn(&[80, 70], &mut rng);
+        let b = Tensor::randn(&[70, 90], &mut rng);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(&[6, 6], &mut rng);
+        let mut eye = Tensor::zeros(&[6, 6]);
+        for i in 0..6 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let mut rng = Rng::seed_from(4);
+        let a = Tensor::randn(&[11, 6], &mut rng);
+        let b = Tensor::randn(&[11, 8], &mut rng);
+        assert!(matmul_tn(&a, &b).max_abs_diff(&matmul(&a.t(), &b)) < 1e-4);
+
+        let c = Tensor::randn(&[9, 7], &mut rng);
+        let d = Tensor::randn(&[5, 7], &mut rng);
+        assert!(matmul_nt(&c, &d).max_abs_diff(&matmul(&c, &d.t())) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let b = Tensor::randn(&[4, 4], &mut rng);
+        let mut c = Tensor::full(&[4, 4], 123.0); // stale contents must be overwritten
+        matmul_into(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+}

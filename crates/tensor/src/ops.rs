@@ -1,0 +1,288 @@
+//! Elementwise and reduction operations on [`Tensor`].
+//!
+//! All binary ops require exactly matching shapes (no implicit broadcasting —
+//! the layers in `aeris-nn` broadcast explicitly where the architecture needs
+//! it, which keeps shape errors loud).
+
+use crate::{pairwise_sum, Tensor};
+
+impl Tensor {
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(self.shape(), data)
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip_map");
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(self.shape(), data)
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiple as a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        self.map_inplace(|x| alpha * x);
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Sum of all elements (pairwise, f64 accumulate).
+    pub fn sum(&self) -> f64 {
+        pairwise_sum(self.data())
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.len() as f64
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let ss = pairwise_sum(&self.data().iter().map(|&x| {
+            let d = x as f64 - m;
+            (d * d) as f32
+        }).collect::<Vec<_>>());
+        ss / self.len() as f64
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Largest absolute value.
+    pub fn abs_max(&self) -> f32 {
+        self.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Euclidean norm (f64 accumulate).
+    pub fn norm(&self) -> f64 {
+        pairwise_sum(&self.data().iter().map(|&x| x * x).collect::<Vec<_>>()).sqrt()
+    }
+
+    /// Dot product of two same-shaped tensors (f64 accumulate).
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in dot");
+        pairwise_sum(
+            &self
+                .data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| a * b)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Clamp every element to `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Row-wise softmax of a 2-D tensor (numerically stable).
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "softmax_rows requires a 2-D tensor");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = self.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            let mut z = 0.0f32;
+            for (d, &x) in dst.iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *d = e;
+                z += e;
+            }
+            let inv = 1.0 / z;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
+        }
+        Tensor::from_vec(self.shape(), out)
+    }
+
+    /// Row means of a 2-D tensor (returns `[rows]`).
+    pub fn row_means(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push((pairwise_sum(self.row(r)) / cols as f64) as f32);
+        }
+        Tensor::from_vec(&[rows], out)
+    }
+
+    /// Index of the maximum element.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut bv = f32::NEG_INFINITY;
+        for (i, &x) in self.data().iter().enumerate() {
+            if x > bv {
+                bv = x;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_slice(&[1., 2., 3.]);
+        let b = Tensor::from_slice(&[4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(b.div(&a).data(), &[4., 2.5, 2.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2., 3., 4.]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_shapes_panic() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::from_slice(&[1., 1.]);
+        let b = Tensor::from_slice(&[2., 3.]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[3., 4.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[4., 5.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[1., 2., 3., 4.]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.variance() - 1.25).abs() < 1e-9);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.abs_max(), 4.0);
+        assert!((t.norm() - 30f64.sqrt()).abs() < 1e-6);
+        assert_eq!(t.argmax(), 3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut rng = Rng::seed_from(11);
+        let t = Tensor::randn(&[5, 16], &mut rng).scale(4.0);
+        let s = t.softmax_rows();
+        for r in 0..5 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert_eq!(
+                t.row(r).iter().copied().fold((0usize, f32::NEG_INFINITY), |acc, x| x.max(acc.1).eq(&x).then(|| (0, x)).unwrap_or(acc)).1.is_finite(),
+                true
+            );
+        }
+        // Softmax is monotone: argmax preserved per-row.
+        for r in 0..5 {
+            let am_in = Tensor::from_slice(t.row(r)).argmax();
+            let am_out = Tensor::from_slice(s.row(r)).argmax();
+            assert_eq!(am_in, am_out);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(&[1, 3], vec![1., 2., 3.]);
+        let shifted = t.add_scalar(100.0);
+        assert!(t.softmax_rows().max_abs_diff(&shifted.softmax_rows()) < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_row_means() {
+        let a = Tensor::from_slice(&[1., 2., 3.]);
+        let b = Tensor::from_slice(&[4., 5., 6.]);
+        assert_eq!(a.dot(&b), 32.0);
+        let m = Tensor::from_vec(&[2, 2], vec![1., 3., 5., 7.]).row_means();
+        assert_eq!(m.data(), &[2., 6.]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let t = Tensor::from_slice(&[-2., 0.5, 9.]).clamp(-1.0, 1.0);
+        assert_eq!(t.data(), &[-1., 0.5, 1.]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Ensemble weather forecasting with extreme events: seed a tropical cyclone
+//! into the toy atmosphere, train AERIS, and track the storm through the
+//! forecast ensemble — a miniature of the paper's Hurricane Laura study.
+//!
+//! ```bash
+//! cargo run --release --example ensemble_weather
+//! ```
+
+use aeris::core::{prepare_samples, AerisConfig, AerisModel, Forecaster, Trainer, TrainerConfig};
+use aeris::diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+use aeris::earthsim::{
+    forcings_at, Climate, CycloneSeed, Dataset, Grid, Scenario, ToyParams, VariableSet,
+};
+use aeris::evaluation::track_cyclone;
+use aeris::nn::LrSchedule;
+use aeris::tensor::Tensor;
+
+fn main() {
+    // Scenario: cyclones in the training window plus one held-out test storm.
+    let scenario = Scenario {
+        cyclones: vec![
+            CycloneSeed::laura_like(10.0 * 24.0),
+            CycloneSeed::laura_like(30.0 * 24.0),
+            CycloneSeed::laura_like(55.0 * 24.0), // test storm
+        ],
+        heatwaves: vec![],
+        enso_init: None,
+    };
+    let vars = VariableSet::with_levels(&[850, 500]);
+    let params = ToyParams { nlat: 16, nlon: 32, seed: 11, scenario: scenario.clone(), ..Default::default() };
+    println!("generating dataset with seeded cyclones…");
+    let ds = Dataset::generate(params, &vars, 260, 60, 0.78, 0.08);
+
+    let cfg = AerisConfig {
+        grid_h: 16,
+        grid_w: 32,
+        channels: vars.len(),
+        forcing_channels: 3,
+        dim: 48,
+        n_heads: 4,
+        ffn: 96,
+        n_layers: 2,
+        blocks_per_layer: 2,
+        window: (4, 4),
+        time_feat_dim: 32,
+        cond_dim: 48,
+        pos_amp: 0.1,
+        seed: 1,
+    };
+    let mut model = AerisModel::new(cfg);
+    let images = 700u64;
+    let tcfg = TrainerConfig {
+        schedule: LrSchedule { peak: 2e-3, warmup: 70, decay: 140, total: images },
+        batch: 2,
+        ema_halflife: 90.0,
+        ..TrainerConfig::paper_scaled(images, 2)
+    };
+    let mut trainer = Trainer::new(&model, ds.grid, &vars.kappa(), tcfg);
+    let samples = prepare_samples(&ds, ds.split_ranges().0);
+    println!("training ({} params, {images} images)…", model.param_count());
+    trainer.fit(&mut model, &samples, images);
+
+    let forecaster = Forecaster {
+        model: trainer.ema_model(&model),
+        stats: ds.stats.clone(),
+        res_stats: ds.res_stats.clone(),
+        sampler: TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 6, churn: 0.1, second_order: true },
+        ),
+    };
+
+    // Launch a 6-day ensemble 1 day before the test storm's genesis.
+    let genesis_step = (55.0 * 24.0 / 6.0) as usize;
+    let i0 = genesis_step - 4;
+    let steps = 24usize;
+    let clim = Climate::new(Grid::new(16, 32), 11 ^ 0xEA57);
+    let t0 = ds.time(i0);
+    let forc = move |k: usize| forcings_at(&clim, (t0 + 6.0 * k as f64) / 24.0);
+    println!("forecasting 6 members × 6 days from one day before genesis…");
+    let ens = forecaster.ensemble(ds.state(i0), &forc, steps, 6, 13);
+
+    // Track the storm in truth and in each member.
+    let seed_cy = scenario.cyclones[2];
+    let truth_states: Vec<Tensor> = (1..=steps).map(|k| ds.state(i0 + k).clone()).collect();
+    let truth_track = track_cyclone(&truth_states, ds.grid, &vars, seed_cy.lat, seed_cy.lon, 3000.0);
+    println!("\ntruth: min central pressure {:.1} hPa", truth_track.min_mslp());
+    for (m, member) in ens.members.iter().enumerate() {
+        let track = track_cyclone(member, ds.grid, &vars, seed_cy.lat, seed_cy.lon, 3000.0);
+        println!(
+            "member {m}: mean track error {:>6.0} km, min MSLP {:>7.1} hPa",
+            track.mean_track_error_km(&truth_track),
+            track.min_mslp()
+        );
+    }
+}

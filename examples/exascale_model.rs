@@ -1,0 +1,56 @@
+//! Explore the analytical exascale performance model: predict throughput for
+//! custom AERIS configurations on Aurora/LUMI, beyond the published Table III
+//! rows — e.g. "what if we trained the 80B model with a bigger batch?"
+//!
+//! ```bash
+//! cargo run --release --example exascale_model
+//! ```
+
+use aeris::perfmodel::configs::config;
+use aeris::perfmodel::{predict, EffModel, AURORA, LUMI};
+
+fn main() {
+    let eff = EffModel::default();
+
+    println!("What-if studies on the calibrated AERIS performance model\n");
+
+    // 1. The 80B run used GBS 260; what would a 13B-style batch deliver?
+    let c80 = config("80B");
+    println!("80B on Aurora, varying GAS at DP=5, WP=64:");
+    println!("{:>6}{:>8}{:>10}{:>12}{:>10}", "GAS", "GBS", "nodes", "EF(sust)", "MFU%");
+    for gas in [52usize, 104, 208] {
+        let p = predict(c80, &AURORA, 64, 5, gas, &eff);
+        println!(
+            "{:>6}{:>8}{:>10}{:>12.2}{:>10.1}",
+            gas, p.gbs, p.nodes, p.sustained_flops / 1e18, p.mfu * 100.0
+        );
+    }
+    println!("→ the 80B MFU penalty is mostly the pipeline bubble at GBS 260.\n");
+
+    // 2. How far could the 40B configuration push on a hypothetical full
+    //    Aurora (10,624 nodes)?
+    let c40 = config("40B");
+    println!("40B on Aurora, DP sweep at WP=36:");
+    println!("{:>6}{:>10}{:>14}{:>12}", "DP", "nodes", "images/sec", "EF(sust)");
+    for dp in [1usize, 4, 8, 14] {
+        let p = predict(c40, &AURORA, 36, dp, c40.gas, &eff);
+        println!(
+            "{:>6}{:>10}{:>14.1}{:>12.2}",
+            dp, p.nodes, p.samples_per_s, p.sustained_flops / 1e18
+        );
+    }
+
+    // 3. The same 26B configuration on both machines (portability, §VI-C).
+    let c26 = config("26B(L)");
+    println!("\n26B on LUMI vs Aurora (DP=2):");
+    for (m, wp) in [(&LUMI, 36usize), (&AURORA, 36)] {
+        let p = predict(c26, m, wp, 2, c26.gas, &eff);
+        println!(
+            "  {:<8} {:>5} nodes: {:>6.2} EF sustained, MFU {:>4.1}%",
+            m.name,
+            p.nodes,
+            p.sustained_flops / 1e18,
+            p.mfu * 100.0
+        );
+    }
+}
