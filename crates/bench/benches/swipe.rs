@@ -6,7 +6,7 @@ use aeris_diffusion::loss_weights;
 use aeris_earthsim::Grid;
 use aeris_nn::AdamWConfig;
 use aeris_swipe::data::InMemorySource;
-use aeris_swipe::{CommClass, DistributedTrainer, SwipeConfig, SwipeTopology, World};
+use aeris_swipe::{CommClass, DistributedTrainer, FaultPlan, SwipeConfig, SwipeTopology, World};
 use aeris_tensor::{Rng, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -22,7 +22,7 @@ fn bench_collectives(c: &mut Criterion) {
                     let g = group.clone();
                     s.spawn(move || {
                         let v = Tensor::full(&[4096], r as f32);
-                        black_box(comm.allreduce_sum(&g, &v));
+                        black_box(comm.allreduce_sum(&g, &v).unwrap());
                     });
                 }
             });
@@ -39,12 +39,44 @@ fn bench_collectives(c: &mut Criterion) {
                     s.spawn(move || {
                         let chunks: Vec<Tensor> =
                             (0..4).map(|j| Tensor::full(&[1024], j as f32)).collect();
-                        black_box(comm.alltoall(&g, chunks));
+                        black_box(comm.alltoall(&g, chunks).unwrap());
                     });
                 }
             });
         })
     });
+}
+
+/// Fault-hook overhead: the same allreduce loop against a world with no
+/// fault plan (hooks dormant) and a world carrying an *empty* plan (every
+/// hook consulted, nothing injected). The two should be within noise of each
+/// other — the robustness layer must be free when unused.
+fn bench_fault_hook_overhead(c: &mut Criterion) {
+    let mut run = |name: &str, plan: Option<FaultPlan>| {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let world = match &plan {
+                    Some(p) => World::with_faults(8, p.clone()),
+                    None => World::new(8),
+                };
+                let group: Vec<usize> = (0..8).collect();
+                std::thread::scope(|s| {
+                    for r in 0..8 {
+                        let mut comm = world.communicator(r);
+                        let g = group.clone();
+                        s.spawn(move || {
+                            let v = Tensor::full(&[4096], r as f32);
+                            for _ in 0..4 {
+                                black_box(comm.allreduce_sum(&g, &v).unwrap());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    };
+    run("allreduce_8ranks_4k_x4_no_plan", None);
+    run("allreduce_8ranks_4k_x4_empty_plan", Some(FaultPlan::new()));
 }
 
 fn bench_distributed_step(c: &mut Criterion) {
@@ -70,15 +102,16 @@ fn bench_distributed_step(c: &mut Criterion) {
                 lr: 1e-3,
                 seed: 7,
                 adamw: AdamWConfig::default(),
+                ..SwipeConfig::new(topo)
             };
             let source = InMemorySource { samples: samples.clone() };
             let sched = vec![vec![vec![0usize, 1]]];
             let report =
-                DistributedTrainer::train(&reference, &scfg, &source, &sched, &weights);
+                DistributedTrainer::train(&reference, &scfg, &source, &sched, &weights).expect("fault-free run");
             black_box(report.traffic.total(CommClass::AllToAll))
         })
     });
 }
 
-criterion_group!(benches, bench_collectives, bench_distributed_step);
+criterion_group!(benches, bench_collectives, bench_fault_hook_overhead, bench_distributed_step);
 criterion_main!(benches);

@@ -53,13 +53,14 @@ fn main() {
             lr: 1e-3,
             seed: 9,
             adamw: AdamWConfig::default(),
+            ..SwipeConfig::new(topo)
         };
         let sched = vec![vec![vec![0usize, 1]]];
         let source = StoreBackedSource::from_samples(
             &samples, cfg.window.0, cfg.window.1, cfg.grid_h, cfg.grid_w,
         );
         let reference = AerisModel::new(cfg.clone());
-        let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+        let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
         let block_rank = topo.rank_of(RankCoords { dp: 0, stage: 1, wp_row: 0, wp_col: 0, sp: 0 });
         println!(
             "{:>4}{:>8}{:>14}{:>12}{:>14}{:>12}{:>16}",

@@ -5,8 +5,12 @@ use crate::model::AerisModel;
 use aeris_autodiff::Tape;
 use aeris_diffusion::{loss_weights, TrigFlow};
 use aeris_earthsim::{Dataset, Grid};
-use aeris_nn::{AdamW, AdamWConfig, Binding, Ema, LrSchedule};
-use aeris_tensor::{Rng, Tensor};
+use aeris_nn::checkpoint::{entry_u64, load_entries, save_entries, u64_entry};
+use aeris_nn::{AdamW, AdamWConfig, Binding, Ema, LrSchedule, ParamId};
+use aeris_tensor::{Rng, RngSnapshot, Tensor};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 
 /// One training sample in standardized units.
 #[derive(Clone, Debug)]
@@ -235,6 +239,71 @@ impl Trainer {
         losses
     }
 
+    /// Serialize the complete training state — model parameters, AdamW
+    /// moments and step counter, EMA shadow, RNG stream, and the images-seen
+    /// counter — so that a restarted run continues bitwise-identically.
+    pub fn save_checkpoint(&self, model: &AerisModel, path: &Path) -> io::Result<()> {
+        let mut entries = Vec::new();
+        for (i, (_, name, v)) in model.store.iter().enumerate() {
+            entries.push((format!("param/{name}"), v.clone()));
+            let (m, s) = self.opt.state(i);
+            entries.push((format!("opt.m/{name}"), m.clone()));
+            entries.push((format!("opt.v/{name}"), s.clone()));
+            entries.push((format!("ema/{name}"), self.ema.shadow()[i].clone()));
+        }
+        entries.push(u64_entry("meta/images_seen", self.images_seen));
+        entries.push(u64_entry("meta/adamw_steps", self.opt.steps()));
+        let snap = self.rng.snapshot();
+        entries.push(u64_entry("meta/rng_state", snap.state));
+        // The Box–Muller cache is an f32 (or absent): a presence flag plus the
+        // value round-trips it exactly through the f32 tensor format.
+        let (flag, cached) = match snap.gauss_cache {
+            Some(g) => (1.0, g),
+            None => (0.0, 0.0),
+        };
+        entries.push(("meta/rng_gauss".to_string(), Tensor::from_slice(&[flag, cached])));
+        save_entries(&entries, path)
+    }
+
+    /// Restore state written by [`Trainer::save_checkpoint`] into this
+    /// trainer and `model`. The model architecture (parameter names and
+    /// shapes) must match the checkpointed one.
+    pub fn load_checkpoint(&mut self, model: &mut AerisModel, path: &Path) -> io::Result<()> {
+        let map: HashMap<String, Tensor> = load_entries(path)?.into_iter().collect();
+        let get = |key: String| -> io::Result<&Tensor> {
+            map.get(&key).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint missing {key}"))
+            })
+        };
+        let ids: Vec<(ParamId, String)> =
+            model.store.iter().map(|(id, n, _)| (id, n.to_string())).collect();
+        let mut shadow = Vec::with_capacity(ids.len());
+        for (i, (id, name)) in ids.iter().enumerate() {
+            let p = get(format!("param/{name}"))?;
+            if p.shape() != model.store.get(*id).shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint shape mismatch for parameter {name}"),
+                ));
+            }
+            *model.store.get_mut(*id) = p.clone();
+            let m = get(format!("opt.m/{name}"))?.clone();
+            let s = get(format!("opt.v/{name}"))?.clone();
+            let state = self.opt.state_mut(i);
+            *state.0 = m;
+            *state.1 = s;
+            shadow.push(get(format!("ema/{name}"))?.clone());
+        }
+        self.ema.restore_shadow(shadow);
+        self.images_seen = entry_u64(get("meta/images_seen".to_string())?)?;
+        self.opt.set_steps(entry_u64(get("meta/adamw_steps".to_string())?)?);
+        let state = entry_u64(get("meta/rng_state".to_string())?)?;
+        let gauss = get("meta/rng_gauss".to_string())?;
+        let gauss_cache = (gauss.data()[0] != 0.0).then(|| gauss.data()[1]);
+        self.rng = Rng::restore(RngSnapshot { state, gauss_cache });
+        Ok(())
+    }
+
     /// A model clone carrying the EMA weights (the inference model, §VI-B).
     pub fn ema_model(&self, model: &AerisModel) -> AerisModel {
         let mut m = AerisModel::new(model.cfg.clone());
@@ -331,6 +400,69 @@ mod tests {
         assert_eq!(losses.len(), 8);
         assert!(losses.iter().all(|l| l.is_finite()));
         assert_eq!(trainer.images_seen(), 28);
+    }
+
+    #[test]
+    fn checkpoint_restart_resumes_bitwise() {
+        let (ds, vars) = tiny_dataset();
+        let samples = prepare_samples(&ds, 0..6);
+        let cfg = TrainerConfig::paper_scaled(1000, 2);
+        let batches: Vec<Vec<&TrainSample>> =
+            (0..6).map(|s| vec![&samples[(2 * s) % 6], &samples[(2 * s + 1) % 6]]).collect();
+
+        // Uninterrupted run: 6 fixed-batch steps.
+        let mut model_a = tiny_model(vars.len());
+        let mut tr_a = Trainer::new(&model_a, ds.grid, &vars.kappa(), cfg);
+        let mut losses_a = Vec::new();
+        for b in &batches {
+            losses_a.push(tr_a.train_step(&mut model_a, b));
+        }
+
+        // Interrupted run: 3 steps, checkpoint, "crash", fresh trainer +
+        // model (different init), restore, 3 more steps.
+        let dir = std::env::temp_dir().join("aeris_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trainer.ckpt");
+        let mut model_b = tiny_model(vars.len());
+        let mut tr_b = Trainer::new(&model_b, ds.grid, &vars.kappa(), cfg);
+        let mut losses_b = Vec::new();
+        for b in &batches[..3] {
+            losses_b.push(tr_b.train_step(&mut model_b, b));
+        }
+        tr_b.save_checkpoint(&model_b, &path).unwrap();
+        drop((tr_b, model_b));
+
+        let mut model_c = AerisModel::new(AerisConfig {
+            channels: vars.len(),
+            seed: 999, // decidedly not the checkpointed init
+            ..AerisConfig::test_tiny()
+        });
+        let mut tr_c = Trainer::new(&model_c, ds.grid, &vars.kappa(), cfg);
+        tr_c.load_checkpoint(&mut model_c, &path).unwrap();
+        assert_eq!(tr_c.images_seen(), 6);
+        for b in &batches[3..] {
+            losses_b.push(tr_c.train_step(&mut model_c, b));
+        }
+        std::fs::remove_file(&path).ok();
+
+        // Bitwise: the resumed trajectory is indistinguishable.
+        assert_eq!(
+            losses_a.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            losses_b.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "resumed loss curve diverged from the uninterrupted run"
+        );
+        for (id, name, v) in model_a.store.iter() {
+            assert_eq!(
+                v.data(),
+                model_c.store.get(id).data(),
+                "parameter {name} diverged after resume"
+            );
+        }
+        let ema_a = tr_a.ema_model(&model_a);
+        let ema_c = tr_c.ema_model(&model_c);
+        for (id, name, v) in ema_a.store.iter() {
+            assert_eq!(v.data(), ema_c.store.get(id).data(), "EMA {name} diverged");
+        }
     }
 
     #[test]

@@ -9,11 +9,17 @@ use std::path::Path;
 
 const MAGIC: u32 = 0xAE51_C4B1;
 
-/// Serialize every parameter of `store` to `writer`.
-pub fn write_params(store: &ParamStore, writer: &mut dyn Write) -> std::io::Result<()> {
+/// Serialize arbitrary named tensors to `writer` in the checkpoint format.
+/// This is the general entry point: trainer checkpoints reuse it with
+/// prefixed names (`param/…`, `opt.m/…`, `meta/…`) to pack parameters,
+/// optimizer moments, and run metadata into one self-describing file.
+pub fn write_entries(
+    entries: &[(String, Tensor)],
+    writer: &mut dyn Write,
+) -> std::io::Result<()> {
     writer.write_all(&MAGIC.to_le_bytes())?;
-    writer.write_all(&(store.len() as u32).to_le_bytes())?;
-    for (_, name, value) in store.iter() {
+    writer.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (name, value) in entries {
         let name_bytes = name.as_bytes();
         writer.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
         writer.write_all(name_bytes)?;
@@ -26,6 +32,25 @@ pub fn write_params(store: &ParamStore, writer: &mut dyn Write) -> std::io::Resu
         }
     }
     Ok(())
+}
+
+/// Save named tensors to a file (see [`write_entries`]).
+pub fn save_entries(entries: &[(String, Tensor)], path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_entries(entries, &mut f)
+}
+
+/// Load named tensors from a file (inverse of [`save_entries`]).
+pub fn load_entries(path: &Path) -> std::io::Result<Vec<(String, Tensor)>> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_params(&mut f)
+}
+
+/// Serialize every parameter of `store` to `writer`.
+pub fn write_params(store: &ParamStore, writer: &mut dyn Write) -> std::io::Result<()> {
+    let entries: Vec<(String, Tensor)> =
+        store.iter().map(|(_, n, v)| (n.to_string(), v.clone())).collect();
+    write_entries(&entries, writer)
 }
 
 /// Read a checkpoint into `(name, tensor)` pairs.
@@ -100,6 +125,29 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Encode a `u64` as a 2-element tensor of f32 *bit patterns* (lo, hi 32
+/// bits). Stored bitwise, so round-trips are exact — used for step counters
+/// and RNG state in trainer checkpoints, which must survive serialization
+/// through the f32-only tensor format without loss.
+pub fn u64_entry(name: &str, value: u64) -> (String, Tensor) {
+    let lo = f32::from_bits(value as u32);
+    let hi = f32::from_bits((value >> 32) as u32);
+    (name.to_string(), Tensor::from_slice(&[lo, hi]))
+}
+
+/// Decode a tensor written by [`u64_entry`].
+pub fn entry_u64(t: &Tensor) -> std::io::Result<u64> {
+    if t.len() != 2 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "u64 metadata entry must have 2 elements",
+        ));
+    }
+    let lo = t.data()[0].to_bits() as u64;
+    let hi = t.data()[1].to_bits() as u64;
+    Ok(lo | (hi << 32))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,7 +202,23 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 16];
+        let buf = [0u8; 16];
         assert!(read_params(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn entries_roundtrip_with_metadata() {
+        let path = std::env::temp_dir().join("aeris_ckpt_entries.bin");
+        let entries = vec![
+            ("param/w".to_string(), Tensor::from_slice(&[1.5, -2.0])),
+            u64_entry("meta/step", u64::MAX - 12345),
+        ];
+        save_entries(&entries, &path).unwrap();
+        let back = load_entries(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].1.data(), entries[0].1.data());
+        assert_eq!(entry_u64(&back[1].1).unwrap(), u64::MAX - 12345);
+        assert!(entry_u64(&Tensor::zeros(&[3])).is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 }

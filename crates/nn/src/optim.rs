@@ -79,6 +79,18 @@ impl AdamW {
     pub fn state_mut(&mut self, i: usize) -> (&mut Tensor, &mut Tensor) {
         (&mut self.m[i], &mut self.v[i])
     }
+
+    /// Read-only access to first/second-moment state (checkpointing).
+    pub fn state(&self, i: usize) -> (&Tensor, &Tensor) {
+        (&self.m[i], &self.v[i])
+    }
+
+    /// Restore the step counter after loading checkpointed moments; the
+    /// counter drives bias correction, so resumed runs must continue it
+    /// exactly where the saved run stopped.
+    pub fn set_steps(&mut self, steps: u64) {
+        self.step = steps;
+    }
 }
 
 /// The paper's learning-rate schedule (§VI-B): linear warmup over
@@ -153,6 +165,16 @@ impl Ema {
     /// Borrow the shadow weights.
     pub fn shadow(&self) -> &[Tensor] {
         &self.shadow
+    }
+
+    /// Overwrite the shadow weights (checkpoint-restart). Shapes must match
+    /// the existing shadow exactly.
+    pub fn restore_shadow(&mut self, shadow: Vec<Tensor>) {
+        assert_eq!(shadow.len(), self.shadow.len(), "EMA shadow count mismatch");
+        for (new, old) in shadow.iter().zip(&self.shadow) {
+            assert_eq!(new.shape(), old.shape(), "EMA shadow shape mismatch");
+        }
+        self.shadow = shadow;
     }
 }
 

@@ -1,4 +1,5 @@
-//! Thread-rank communicator with byte-accurate traffic accounting.
+//! Thread-rank communicator with byte-accurate traffic accounting and
+//! fault-tolerant delivery.
 //!
 //! Message passing uses a shared mailbox keyed by `(src, dst, tag)`; tags are
 //! derived from per-(pair/group) operation counters so that, as on a real
@@ -6,12 +7,27 @@
 //! cross-talk. Collectives are deterministic: reductions combine contributions
 //! in group-rank order regardless of arrival order, so distributed runs are
 //! bitwise reproducible for a fixed topology.
+//!
+//! Fault tolerance (robustness layer):
+//! - every blocking wait carries a deadline ([`CommConfig::deadline`]); an
+//!   expired deadline surfaces as [`CommError::Timeout`] instead of hanging,
+//! - point-to-point receives run a retransmit timer with exponential backoff
+//!   that recovers messages suppressed by an injected drop fault; collectives
+//!   fail fast (a lost collective contribution is a rank-level failure, so a
+//!   retry storm would only delay the inevitable error),
+//! - a [`FaultPlan`] injects delays, drops, and crashes deterministically;
+//!   every hook is a no-op costing one branch when no plan is installed,
+//! - dead ranks are tracked; waiting on a rank that died without having sent
+//!   yields [`CommError::PeerDead`] as soon as the death is observed.
 
+use crate::events::{EventLog, FaultEvent};
+use crate::fault::{FaultPlan, MessageFault};
 use aeris_tensor::Tensor;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Traffic class, matching the paper's communication breakdown (§V-A).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,9 +52,77 @@ const CLASSES: [CommClass; 5] = [
     CommClass::Broadcast,
 ];
 
+/// A typed communication failure. Every blocking operation either completes
+/// within its deadline or returns one of these — the runtime never deadlocks
+/// on a lost message or a dead peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A blocking wait exceeded the configured deadline.
+    Timeout { rank: usize, peer: usize, waited_ms: u64 },
+    /// The awaited peer died before sending.
+    PeerDead { rank: usize, peer: usize },
+    /// This rank itself crashed (injected by the fault plan).
+    Crashed { rank: usize },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, peer, waited_ms } => {
+                write!(f, "rank {rank}: wait for rank {peer} timed out after {waited_ms} ms")
+            }
+            CommError::PeerDead { rank, peer } => {
+                write!(f, "rank {rank}: peer rank {peer} died before sending")
+            }
+            CommError::Crashed { rank } => write!(f, "rank {rank}: crashed (injected fault)"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Timeout and retry policy for blocking communication.
+#[derive(Clone, Copy, Debug)]
+pub struct CommConfig {
+    /// Hard deadline for any single blocking wait. Generous by default: on an
+    /// oversubscribed host (many rank threads per core) pipeline-fill waits
+    /// are legitimately long; chaos tests override this downward.
+    pub deadline: Duration,
+    /// Initial retransmit-timer interval for point-to-point receives.
+    pub retry_backoff: Duration,
+    /// Ceiling for the exponentially growing retransmit interval.
+    pub max_backoff: Duration,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            deadline: Duration::from_secs(120),
+            retry_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A buffered message plus its remaining injected-drop suppressions. While
+/// `suppressed > 0` the message is invisible to its receiver, as if lost in
+/// transit; each retransmit request recovers one suppression.
+struct Envelope {
+    payload: Vec<Tensor>,
+    suppressed: u32,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    slots: HashMap<(usize, usize, u64), Envelope>,
+    /// Per directed channel: how many messages have been posted (the fault
+    /// plan addresses messages by this index).
+    posted: HashMap<(usize, usize), u64>,
+}
+
 #[derive(Default)]
 struct Mailbox {
-    slots: Mutex<HashMap<(usize, usize, u64), Vec<Tensor>>>,
+    state: Mutex<MailboxState>,
     cond: Condvar,
 }
 
@@ -47,6 +131,13 @@ struct WorldInner {
     mailbox: Mailbox,
     /// bytes sent per (rank, class).
     sent: Vec<[AtomicU64; 5]>,
+    config: CommConfig,
+    plan: Option<FaultPlan>,
+    events: EventLog,
+    dead: Vec<AtomicBool>,
+    /// Communication operations completed per rank (drives mid-step crash
+    /// faults and lets tests aim a crash at a specific point in a run).
+    ops: Vec<AtomicU64>,
 }
 
 /// A communication world of `n` thread ranks.
@@ -84,16 +175,66 @@ fn class_name(c: CommClass) -> &'static str {
 }
 
 impl World {
-    /// Create a world with `n` ranks.
+    /// Create a world with `n` ranks, default timeouts, and no fault plan.
     pub fn new(n: usize) -> Self {
+        World::with_config(n, CommConfig::default(), None)
+    }
+
+    /// Create a world with a fault plan and default timeouts.
+    pub fn with_faults(n: usize, plan: FaultPlan) -> Self {
+        World::with_config(n, CommConfig::default(), Some(plan))
+    }
+
+    /// Create a world with explicit timeout policy and an optional fault
+    /// plan.
+    pub fn with_config(n: usize, config: CommConfig, plan: Option<FaultPlan>) -> Self {
         assert!(n > 0);
         let sent = (0..n).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect();
-        World { inner: Arc::new(WorldInner { n, mailbox: Mailbox::default(), sent }) }
+        World {
+            inner: Arc::new(WorldInner {
+                n,
+                mailbox: Mailbox::default(),
+                sent,
+                config,
+                plan,
+                events: EventLog::new(),
+                dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+                ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
     }
 
     /// World size.
     pub fn size(&self) -> usize {
         self.inner.n
+    }
+
+    /// The shared fault log.
+    pub fn events(&self) -> &EventLog {
+        &self.inner.events
+    }
+
+    /// The installed fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.inner.plan.as_ref()
+    }
+
+    /// Communication operations completed so far, per rank.
+    pub fn op_counts(&self) -> Vec<u64> {
+        self.inner.ops.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Mark `rank` dead and wake all waiters so they can observe the death
+    /// instead of sleeping out their full deadline.
+    pub fn mark_dead(&self, rank: usize) {
+        self.inner.dead[rank].store(true, Ordering::SeqCst);
+        let _guard = self.inner.mailbox.state.lock();
+        self.inner.mailbox.cond.notify_all();
+    }
+
+    /// Whether `rank` has died.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.inner.dead[rank].load(Ordering::SeqCst)
     }
 
     /// A communicator handle for `rank`.
@@ -133,20 +274,106 @@ impl World {
         self.inner.sent[rank][i].fetch_add(bytes, Ordering::Relaxed);
     }
 
-    fn put(&self, src: usize, dst: usize, tag: u64, payload: Vec<Tensor>) {
-        let mut slots = self.inner.mailbox.slots.lock();
-        let prev = slots.insert((src, dst, tag), payload);
+    fn put(&self, src: usize, dst: usize, tag: u64, class: CommClass, payload: Vec<Tensor>) {
+        let fault = {
+            let mut st = self.inner.mailbox.state.lock();
+            let seq = st.posted.entry((src, dst)).or_insert(0);
+            let nth = *seq;
+            *seq += 1;
+            // Fast path: no plan installed → plain insert under one lock.
+            let fault = self.inner.plan.as_ref().and_then(|p| p.message_fault(src, dst, nth));
+            match fault {
+                Some(MessageFault::Delay { .. }) => {}
+                other => {
+                    let suppressed = match other {
+                        Some(MessageFault::Drop { times }) => times,
+                        _ => 0,
+                    };
+                    let prev = st.slots.insert((src, dst, tag), Envelope { payload, suppressed });
+                    assert!(prev.is_none(), "duplicate message ({src}->{dst}, tag {tag})");
+                    drop(st);
+                    if suppressed > 0 {
+                        self.inner
+                            .events
+                            .record(src, FaultEvent::InjectedDrop { src, dst, remaining: suppressed });
+                    }
+                    self.inner.mailbox.cond.notify_all();
+                    return;
+                }
+            }
+            fault
+        };
+        // Delayed message: stall the sender's link outside the lock, then
+        // deliver. Later messages on the same channel queue behind the stall
+        // (the sender thread is inside this call), preserving FIFO order.
+        if let Some(MessageFault::Delay { millis }) = fault {
+            self.inner.events.record(src, FaultEvent::InjectedDelay { src, dst, class, millis });
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        let mut st = self.inner.mailbox.state.lock();
+        let prev = st.slots.insert((src, dst, tag), Envelope { payload, suppressed: 0 });
         assert!(prev.is_none(), "duplicate message ({src}->{dst}, tag {tag})");
+        drop(st);
         self.inner.mailbox.cond.notify_all();
     }
 
-    fn take(&self, src: usize, dst: usize, tag: u64) -> Vec<Tensor> {
-        let mut slots = self.inner.mailbox.slots.lock();
+    /// Blocking mailbox wait with deadline. `retry_p2p` enables the
+    /// retransmit timer that recovers drop-suppressed messages; collectives
+    /// pass `false` and fail fast on loss.
+    fn take(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        retry_p2p: bool,
+    ) -> Result<Vec<Tensor>, CommError> {
+        let config = &self.inner.config;
+        let start = Instant::now();
+        let deadline = start + config.deadline;
+        let mut backoff = config.retry_backoff;
+        let mut last_retry = start;
+        let mut attempt = 0u32;
+        let key = (src, dst, tag);
+        let mut st = self.inner.mailbox.state.lock();
         loop {
-            if let Some(p) = slots.remove(&(src, dst, tag)) {
-                return p;
+            let deliverable = matches!(st.slots.get(&key), Some(env) if env.suppressed == 0);
+            if deliverable {
+                return Ok(st.slots.remove(&key).unwrap().payload);
             }
-            self.inner.mailbox.cond.wait(&mut slots);
+            // Not (yet) deliverable. A dead sender can neither send nor
+            // retransmit, so give up immediately.
+            if self.is_dead(src) {
+                return Err(CommError::PeerDead { rank: dst, peer: src });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let waited_ms = config.deadline.as_millis() as u64;
+                self.inner
+                    .events
+                    .record(dst, FaultEvent::CommTimeout { rank: dst, peer: src, waited_ms });
+                return Err(CommError::Timeout { rank: dst, peer: src, waited_ms });
+            }
+            // Retransmit timer: if a suppressed message has sat through a
+            // full backoff interval, request a retransmit (recover one
+            // suppression) and escalate the interval.
+            if retry_p2p && now.duration_since(last_retry) >= backoff {
+                if let Some(env) = st.slots.get_mut(&key) {
+                    if env.suppressed > 0 {
+                        env.suppressed -= 1;
+                        attempt += 1;
+                        self.inner
+                            .events
+                            .record(dst, FaultEvent::RetransmitRequest { src, dst, attempt });
+                        last_retry = now;
+                        backoff = (backoff * 2).min(config.max_backoff);
+                        continue;
+                    }
+                }
+                last_retry = now;
+                backoff = (backoff * 2).min(config.max_backoff);
+            }
+            let wait = backoff.min(deadline - now);
+            let _ = self.inner.mailbox.cond.wait_for(&mut st, wait);
         }
     }
 }
@@ -171,6 +398,49 @@ impl Communicator {
     /// World size.
     pub fn world_size(&self) -> usize {
         self.world.size()
+    }
+
+    /// The world this communicator belongs to.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Execute this rank's planned step-boundary crash, if the plan schedules
+    /// one for `step`. Returns `true` if the rank just died (the caller must
+    /// stop communicating and unwind).
+    pub fn planned_crash(&mut self, step: usize) -> bool {
+        let crashes = match self.world.plan() {
+            Some(plan) => plan.crash_step(self.rank) == Some(step),
+            None => false,
+        };
+        if crashes {
+            self.world.events().record(self.rank, FaultEvent::RankCrashed { rank: self.rank, step });
+            self.world.mark_dead(self.rank);
+        }
+        crashes
+    }
+
+    /// Per-operation fault hook: counts the op, and executes a planned
+    /// mid-step (op-count-triggered) crash. Every public operation calls this
+    /// once on entry; with no plan installed it costs one atomic increment
+    /// and a branch.
+    fn op_hook(&mut self) -> Result<(), CommError> {
+        if self.world.is_dead(self.rank) {
+            return Err(CommError::Crashed { rank: self.rank });
+        }
+        let done = self.world.inner.ops[self.rank].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(plan) = self.world.plan() {
+            if let Some(limit) = plan.crash_after_ops(self.rank) {
+                if done > limit {
+                    self.world
+                        .events()
+                        .record(self.rank, FaultEvent::RankCrashedMidStep { rank: self.rank, ops: done - 1 });
+                    self.world.mark_dead(self.rank);
+                    return Err(CommError::Crashed { rank: self.rank });
+                }
+            }
+        }
+        Ok(())
     }
 
     fn next_chan_tag(&mut self, src: usize, dst: usize) -> u64 {
@@ -203,27 +473,42 @@ impl Communicator {
     }
 
     /// Send tensors to `dst` (non-blocking; buffered in the mailbox).
-    pub fn send(&mut self, dst: usize, class: CommClass, payload: Vec<Tensor>) {
+    pub fn send(
+        &mut self,
+        dst: usize,
+        class: CommClass,
+        payload: Vec<Tensor>,
+    ) -> Result<(), CommError> {
+        self.op_hook()?;
         let tag = self.next_chan_tag(self.rank, dst);
         self.world.account(self.rank, class, Self::payload_bytes(&payload));
-        self.world.put(self.rank, dst, tag, payload);
+        self.world.put(self.rank, dst, tag, class, payload);
+        Ok(())
     }
 
-    /// Blocking receive of the next message from `src`.
-    pub fn recv(&mut self, src: usize) -> Vec<Tensor> {
+    /// Blocking receive of the next message from `src` (retransmit timer
+    /// active: recovers injected drops with exponential backoff).
+    pub fn recv(&mut self, src: usize) -> Result<Vec<Tensor>, CommError> {
+        self.op_hook()?;
         let tag = self.next_chan_tag(src, self.rank);
-        self.world.take(src, self.rank, tag)
+        self.world.take(src, self.rank, tag, true)
     }
 
     /// Barrier over a group (all members must call with the identical group).
-    pub fn barrier(&mut self, group: &[usize]) {
-        let _ = self.allgather(group, CommClass::Broadcast, Tensor::zeros(&[1]));
+    pub fn barrier(&mut self, group: &[usize]) -> Result<(), CommError> {
+        self.allgather(group, CommClass::Broadcast, Tensor::zeros(&[1]))?;
+        Ok(())
     }
 
     /// All-to-all within `group`: `chunks[j]` goes to group member `j`;
     /// returns the chunks received from each member (self-chunk passes
     /// through untouched and un-accounted, as on a real interconnect).
-    pub fn alltoall(&mut self, group: &[usize], mut chunks: Vec<Tensor>) -> Vec<Tensor> {
+    pub fn alltoall(
+        &mut self,
+        group: &[usize],
+        mut chunks: Vec<Tensor>,
+    ) -> Result<Vec<Tensor>, CommError> {
+        self.op_hook()?;
         assert_eq!(chunks.len(), group.len());
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
@@ -234,7 +519,7 @@ impl Communicator {
             }
             let payload = vec![std::mem::replace(&mut chunks[j], Tensor::zeros(&[0]))];
             self.world.account(self.rank, CommClass::AllToAll, Self::payload_bytes(&payload));
-            self.world.put(self.rank, dst, tag_base | j as u64, payload);
+            self.world.put(self.rank, dst, tag_base | j as u64, CommClass::AllToAll, payload);
         }
         // Collect receives.
         let mut out = Vec::with_capacity(group.len());
@@ -242,17 +527,23 @@ impl Communicator {
             if j == me {
                 out.push(std::mem::replace(&mut chunks[me], Tensor::zeros(&[0])));
             } else {
-                let mut p = self.world.take(src, self.rank, tag_base | me as u64);
+                let mut p = self.world.take(src, self.rank, tag_base | me as u64, false)?;
                 assert_eq!(p.len(), 1);
                 out.push(p.pop().unwrap());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Allgather within `group`: returns every member's tensor, in group
     /// order.
-    pub fn allgather(&mut self, group: &[usize], class: CommClass, value: Tensor) -> Vec<Tensor> {
+    pub fn allgather(
+        &mut self,
+        group: &[usize],
+        class: CommClass,
+        value: Tensor,
+    ) -> Result<Vec<Tensor>, CommError> {
+        self.op_hook()?;
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
         for (j, &dst) in group.iter().enumerate() {
@@ -261,18 +552,18 @@ impl Communicator {
             }
             let payload = vec![value.clone()];
             self.world.account(self.rank, class, Self::payload_bytes(&payload));
-            self.world.put(self.rank, dst, tag_base | me as u64, payload);
+            self.world.put(self.rank, dst, tag_base | me as u64, class, payload);
         }
         let mut out = Vec::with_capacity(group.len());
         for (j, &src) in group.iter().enumerate() {
             if j == me {
                 out.push(value.clone());
             } else {
-                let mut p = self.world.take(src, self.rank, tag_base | j as u64);
+                let mut p = self.world.take(src, self.rank, tag_base | j as u64, false)?;
                 out.push(p.pop().unwrap());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Sum-allreduce within `group`, implemented as reduce-scatter +
@@ -280,10 +571,11 @@ impl Communicator {
     /// (the bandwidth-optimal ring volume — this is what makes the paper's
     /// "gradient-allreduce volume is unchanged by WP" claim measurable).
     /// Deterministic: every chunk is reduced in group order by its owner.
-    pub fn allreduce_sum(&mut self, group: &[usize], value: &Tensor) -> Tensor {
+    pub fn allreduce_sum(&mut self, group: &[usize], value: &Tensor) -> Result<Tensor, CommError> {
+        self.op_hook()?;
         let n = group.len();
         if n == 1 {
-            return value.clone();
+            return Ok(value.clone());
         }
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
@@ -301,7 +593,7 @@ impl Communicator {
             let (lo, hi) = chunk_bounds(j);
             let payload = vec![Tensor::from_slice(&value.data()[lo..hi])];
             self.world.account(self.rank, CommClass::AllReduce, Self::payload_bytes(&payload));
-            self.world.put(self.rank, dst, tag_base | j as u64, payload);
+            self.world.put(self.rank, dst, tag_base | j as u64, CommClass::AllReduce, payload);
         }
         let (mlo, mhi) = chunk_bounds(me);
         let mut mine: Vec<f32> = value.data()[mlo..mhi].to_vec();
@@ -311,7 +603,7 @@ impl Communicator {
             if j == me {
                 continue;
             }
-            let mut p = self.world.take(src, self.rank, tag_base | me as u64);
+            let mut p = self.world.take(src, self.rank, tag_base | me as u64, false)?;
             contributions[j] = Some(p.pop().unwrap());
         }
         for (j, c) in contributions.iter().enumerate() {
@@ -332,7 +624,7 @@ impl Communicator {
             }
             let payload = vec![reduced.clone()];
             self.world.account(self.rank, CommClass::AllReduce, Self::payload_bytes(&payload));
-            self.world.put(self.rank, dst, tag2 | me as u64, payload);
+            self.world.put(self.rank, dst, tag2 | me as u64, CommClass::AllReduce, payload);
         }
         let mut out = vec![0.0f32; len];
         out[mlo..mhi].copy_from_slice(&mine);
@@ -340,15 +632,21 @@ impl Communicator {
             if j == me {
                 continue;
             }
-            let p = self.world.take(src, self.rank, tag2 | j as u64);
+            let p = self.world.take(src, self.rank, tag2 | j as u64, false)?;
             let (lo, hi) = chunk_bounds(j);
             out[lo..hi].copy_from_slice(p[0].data());
         }
-        Tensor::from_vec(value.shape(), out)
+        Ok(Tensor::from_vec(value.shape(), out))
     }
 
     /// Broadcast from `group[root_ix]` to the group.
-    pub fn broadcast(&mut self, group: &[usize], root_ix: usize, value: Option<Tensor>) -> Tensor {
+    pub fn broadcast(
+        &mut self,
+        group: &[usize],
+        root_ix: usize,
+        value: Option<Tensor>,
+    ) -> Result<Tensor, CommError> {
+        self.op_hook()?;
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
         if me == root_ix {
@@ -359,13 +657,13 @@ impl Communicator {
                 }
                 let payload = vec![v.clone()];
                 self.world.account(self.rank, CommClass::AllGather, Self::payload_bytes(&payload));
-                self.world.put(self.rank, dst, tag_base | j as u64, payload);
+                self.world.put(self.rank, dst, tag_base | j as u64, CommClass::AllGather, payload);
             }
-            v
+            Ok(v)
         } else {
             assert!(value.is_none(), "non-root must not provide a value");
-            let mut p = self.world.take(group[root_ix], self.rank, tag_base | me as u64);
-            p.pop().unwrap()
+            let mut p = self.world.take(group[root_ix], self.rank, tag_base | me as u64, false)?;
+            Ok(p.pop().unwrap())
         }
     }
 }
@@ -395,11 +693,11 @@ mod tests {
     fn send_recv_roundtrip_and_fifo_order() {
         run_ranks(2, |mut c| {
             if c.rank() == 0 {
-                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[1.0])]);
-                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[2.0])]);
+                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[1.0])]).unwrap();
+                c.send(1, CommClass::P2p, vec![Tensor::from_slice(&[2.0])]).unwrap();
             } else {
-                let a = c.recv(0);
-                let b = c.recv(0);
+                let a = c.recv(0).unwrap();
+                let b = c.recv(0).unwrap();
                 assert_eq!(a[0].data(), &[1.0]);
                 assert_eq!(b[0].data(), &[2.0]);
             }
@@ -412,10 +710,10 @@ mod tests {
         run_ranks(4, |mut c| {
             let v = Tensor::from_slice(&[c.rank() as f32, 1.0]);
             let g = group.clone();
-            let out = c.allreduce_sum(&g, &v);
+            let out = c.allreduce_sum(&g, &v).unwrap();
             assert_eq!(out.data(), &[6.0, 4.0]);
             // Repeat to exercise tag sequencing.
-            let out2 = c.allreduce_sum(&g, &v);
+            let out2 = c.allreduce_sum(&g, &v).unwrap();
             assert_eq!(out2.data(), &[6.0, 4.0]);
         });
     }
@@ -427,7 +725,7 @@ mod tests {
             let r = c.rank() as f32;
             let chunks: Vec<Tensor> =
                 (0..3).map(|j| Tensor::from_slice(&[r * 10.0 + j as f32])).collect();
-            let out = c.alltoall(&group, chunks);
+            let out = c.alltoall(&group, chunks).unwrap();
             for (j, t) in out.iter().enumerate() {
                 // Received from member j: their chunk addressed to me.
                 assert_eq!(t.data(), &[j as f32 * 10.0 + r]);
@@ -440,7 +738,7 @@ mod tests {
         let group: Vec<usize> = (0..3).collect();
         run_ranks(3, |mut c| {
             let v = if c.rank() == 1 { Some(Tensor::from_slice(&[7.0, 8.0])) } else { None };
-            let out = c.broadcast(&group, 1, v);
+            let out = c.broadcast(&group, 1, v).unwrap();
             assert_eq!(out.data(), &[7.0, 8.0]);
         });
     }
@@ -453,7 +751,7 @@ mod tests {
             let reps = if c.rank() < 2 { 3 } else { 5 };
             for i in 0..reps {
                 let v = Tensor::from_slice(&[i as f32]);
-                let out = c.allreduce_sum(&g, &v);
+                let out = c.allreduce_sum(&g, &v).unwrap();
                 assert_eq!(out.data(), &[2.0 * i as f32]);
             }
         });
@@ -466,10 +764,10 @@ mod tests {
             let mut c0 = world.communicator(0);
             let mut c1 = world.communicator(1);
             s.spawn(move || {
-                c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[10])]);
+                c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[10])]).unwrap();
             });
             s.spawn(move || {
-                let _ = c1.recv(0);
+                let _ = c1.recv(0).unwrap();
             });
         });
         let t = world.traffic();
@@ -487,10 +785,80 @@ mod tests {
             let mut rng = Rng::seed_from(c.rank() as u64);
             for _ in 0..20 {
                 let v = Tensor::randn(&[16], &mut rng);
-                let parts = c.allgather(&group, CommClass::AllGather, v.clone());
+                let parts = c.allgather(&group, CommClass::AllGather, v.clone()).unwrap();
                 assert_eq!(parts.len(), 8);
                 assert_eq!(parts[c.rank()], v);
             }
         });
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error_instead_of_hanging() {
+        let world = World::with_config(
+            2,
+            CommConfig { deadline: Duration::from_millis(50), ..CommConfig::default() },
+            None,
+        );
+        let mut c = world.communicator(1);
+        let start = Instant::now();
+        let err = c.recv(0).unwrap_err();
+        assert_eq!(err, CommError::Timeout { rank: 1, peer: 0, waited_ms: 50 });
+        assert!(start.elapsed() < Duration::from_secs(5), "deadline not honored");
+        assert!(world.events().any(|e| matches!(e, FaultEvent::CommTimeout { .. })));
+    }
+
+    #[test]
+    fn waiting_on_a_dead_peer_fails_fast() {
+        let world = World::new(2);
+        world.mark_dead(0);
+        let mut c = world.communicator(1);
+        assert_eq!(c.recv(0).unwrap_err(), CommError::PeerDead { rank: 1, peer: 0 });
+        // The dead rank itself can no longer communicate.
+        let mut c0 = world.communicator(0);
+        assert_eq!(
+            c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[1])]).unwrap_err(),
+            CommError::Crashed { rank: 0 }
+        );
+    }
+
+    #[test]
+    fn dropped_p2p_message_recovered_by_retransmit() {
+        let plan = FaultPlan::new().drop_message(0, 1, 0, 2);
+        let world = World::with_faults(2, plan);
+        thread::scope(|s| {
+            let mut c0 = world.communicator(0);
+            let mut c1 = world.communicator(1);
+            s.spawn(move || {
+                c0.send(1, CommClass::P2p, vec![Tensor::from_slice(&[9.0])]).unwrap();
+            });
+            s.spawn(move || {
+                assert_eq!(c1.recv(0).unwrap()[0].data(), &[9.0]);
+            });
+        });
+        assert!(world.events().any(|e| matches!(e, FaultEvent::InjectedDrop { .. })));
+        assert_eq!(
+            world
+                .events()
+                .count_matching(|e| matches!(e, FaultEvent::RetransmitRequest { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn op_counts_track_operations() {
+        let world = World::new(2);
+        thread::scope(|s| {
+            let mut c0 = world.communicator(0);
+            let mut c1 = world.communicator(1);
+            s.spawn(move || {
+                c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[1])]).unwrap();
+                c0.send(1, CommClass::P2p, vec![Tensor::zeros(&[1])]).unwrap();
+            });
+            s.spawn(move || {
+                let _ = c1.recv(0).unwrap();
+                let _ = c1.recv(0).unwrap();
+            });
+        });
+        assert_eq!(world.op_counts(), vec![2, 2]);
     }
 }

@@ -1,0 +1,178 @@
+//! Deterministic fault injection for the distributed runtime.
+//!
+//! A [`FaultPlan`] is a seedable, fully pre-declared schedule of faults that
+//! the [`World`](crate::comm::World) consults on every message it moves:
+//!
+//! - **delay**: the nth message on a directed channel is held back for a
+//!   fixed number of milliseconds before delivery (any traffic class);
+//! - **drop**: the nth point-to-point message on a channel is suppressed a
+//!   fixed number of times — each suppression models one lost transmission
+//!   that the receiver's retry timer must recover with a retransmit request;
+//! - **crash**: a rank leaves the world, either *at a step boundary*
+//!   ([`crash_rank`](FaultPlan::crash_rank), which the trainer survives by
+//!   retiring the dead rank's data-parallel replica) or *mid-step after a
+//!   fixed number of communication operations*
+//!   ([`crash_rank_after_ops`](FaultPlan::crash_rank_after_ops), which peers
+//!   observe as timeouts and surface as typed errors).
+//!
+//! Because the plan is plain data known to every rank, runs under a plan are
+//! exactly reproducible, and step-boundary reconfiguration needs no
+//! agreement protocol: every survivor computes the same set of dead replicas
+//! from (plan, step). Message indices count *every* mailbox insertion on a
+//! directed channel in sender program order — point-to-point sends and
+//! collective member messages alike — so a fault can target any wire
+//! message a run produces.
+
+use std::collections::HashMap;
+
+/// A fault attached to one (src → dst, nth-message) channel slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFault {
+    /// Hold the message back this long before it becomes visible.
+    Delay { millis: u64 },
+    /// Suppress delivery this many times; each receiver retransmit request
+    /// recovers one suppression. Only meaningful for point-to-point traffic
+    /// (collectives fail fast rather than retry).
+    Drop { times: u32 },
+}
+
+/// A deterministic, seedable schedule of injected faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// (src, dst, per-channel message index) → fault.
+    messages: HashMap<(usize, usize, u64), MessageFault>,
+    /// rank → step boundary at which it crashes (graceful degradation path).
+    step_crashes: HashMap<usize, usize>,
+    /// rank → communication-op count after which it crashes mid-step
+    /// (hard-failure path).
+    op_crashes: HashMap<usize, u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). `World::with_faults(.., FaultPlan::new())`
+    /// exercises every hook with zero injected behavior — the configuration
+    /// the fault-hook overhead benchmark measures.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Delay the `nth` message (0-based, counted per directed channel) from
+    /// `src` to `dst` by `millis`.
+    pub fn delay_message(mut self, src: usize, dst: usize, nth: u64, millis: u64) -> Self {
+        self.messages.insert((src, dst, nth), MessageFault::Delay { millis });
+        self
+    }
+
+    /// Drop the `nth` message from `src` to `dst`, `times` times.
+    pub fn drop_message(mut self, src: usize, dst: usize, nth: u64, times: u32) -> Self {
+        self.messages.insert((src, dst, nth), MessageFault::Drop { times });
+        self
+    }
+
+    /// Crash `rank` at the boundary of training step `step` (before it does
+    /// any work for that step).
+    pub fn crash_rank(mut self, rank: usize, step: usize) -> Self {
+        self.step_crashes.insert(rank, step);
+        self
+    }
+
+    /// Crash `rank` mid-step, after it has completed `ops` communication
+    /// operations since the start of the run.
+    pub fn crash_rank_after_ops(mut self, rank: usize, ops: u64) -> Self {
+        self.op_crashes.insert(rank, ops);
+        self
+    }
+
+    /// A seeded random delay-only plan: `count` delays of up to `max_millis`
+    /// each, scattered over the first `max_nth` messages of random directed
+    /// channels in an `n`-rank world. Delay-only plans must never change
+    /// results — only timing — which the property tests assert.
+    pub fn chaos_delays(seed: u64, n: usize, max_nth: u64, count: usize, max_millis: u64) -> Self {
+        let mut plan = FaultPlan::new();
+        let mut rng = aeris_tensor::Rng::seed_from(seed ^ 0xFA17_7E57);
+        for _ in 0..count {
+            let src = rng.below(n);
+            let dst = rng.below(n);
+            if src == dst {
+                continue;
+            }
+            let nth = rng.below(max_nth.max(1) as usize) as u64;
+            let millis = 1 + rng.below(max_millis.max(1) as usize) as u64;
+            plan = plan.delay_message(src, dst, nth, millis);
+        }
+        plan
+    }
+
+    /// True if the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty() && self.step_crashes.is_empty() && self.op_crashes.is_empty()
+    }
+
+    /// The fault (if any) attached to the `nth` message from `src` to `dst`.
+    pub fn message_fault(&self, src: usize, dst: usize, nth: u64) -> Option<MessageFault> {
+        self.messages.get(&(src, dst, nth)).copied()
+    }
+
+    /// The step at which `rank` is planned to crash, if any.
+    pub fn crash_step(&self, rank: usize) -> Option<usize> {
+        self.step_crashes.get(&rank).copied()
+    }
+
+    /// The op count after which `rank` is planned to crash mid-step, if any.
+    pub fn crash_after_ops(&self, rank: usize) -> Option<u64> {
+        self.op_crashes.get(&rank).copied()
+    }
+
+    /// Ranks whose planned step-boundary crash has occurred by `step`
+    /// (i.e. `crash step <= step`). Mid-step op crashes are not included:
+    /// they are hard failures surfaced as errors, not reconfigurations.
+    pub fn dead_ranks_at(&self, step: usize) -> Vec<usize> {
+        let mut dead: Vec<usize> =
+            self.step_crashes.iter().filter(|&(_, &s)| s <= step).map(|(&r, _)| r).collect();
+        dead.sort_unstable();
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let plan = FaultPlan::new()
+            .delay_message(0, 1, 3, 25)
+            .drop_message(2, 0, 0, 2)
+            .crash_rank(5, 1)
+            .crash_rank_after_ops(6, 100);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.message_fault(0, 1, 3), Some(MessageFault::Delay { millis: 25 }));
+        assert_eq!(plan.message_fault(2, 0, 0), Some(MessageFault::Drop { times: 2 }));
+        assert_eq!(plan.message_fault(0, 1, 4), None);
+        assert_eq!(plan.crash_step(5), Some(1));
+        assert_eq!(plan.crash_step(6), None);
+        assert_eq!(plan.crash_after_ops(6), Some(100));
+        assert_eq!(plan.dead_ranks_at(0), Vec::<usize>::new());
+        assert_eq!(plan.dead_ranks_at(1), vec![5]);
+        assert_eq!(plan.dead_ranks_at(9), vec![5]);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::default().message_fault(0, 1, 0).is_none());
+    }
+
+    #[test]
+    fn chaos_delays_is_deterministic_and_delay_only() {
+        let a = FaultPlan::chaos_delays(42, 8, 16, 10, 4);
+        let b = FaultPlan::chaos_delays(42, 8, 16, 10, 4);
+        assert_eq!(a.messages, b.messages);
+        assert!(a.step_crashes.is_empty() && a.op_crashes.is_empty());
+        for fault in a.messages.values() {
+            assert!(matches!(fault, MessageFault::Delay { millis } if *millis >= 1));
+        }
+        let c = FaultPlan::chaos_delays(43, 8, 16, 10, 4);
+        assert_ne!(a.messages, c.messages, "different seeds should differ");
+    }
+}

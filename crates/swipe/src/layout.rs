@@ -168,7 +168,7 @@ mod tests {
     fn tokens_partition_exactly_once() {
         for shifted in [false, true] {
             let l = ActLayout::new(grid(), shifted, 2, 2, 2);
-            let mut seen = vec![false; 128];
+            let mut seen = [false; 128];
             for ra in 0..2 {
                 for rb in 0..2 {
                     for sp in 0..2 {

@@ -17,7 +17,11 @@
 //!   segmented forward-backward across communication boundaries,
 //! - [`trainer`]: the end-to-end distributed training step (shared-seed
 //!   diffusion times, ZeRO-1 sharded optimizer, gradient reduction over
-//!   DP×WP×SP), validated for equivalence against single-rank training.
+//!   DP×WP×SP), validated for equivalence against single-rank training,
+//! - [`fault`] / [`events`]: deterministic fault injection (delays, drops,
+//!   crashes) and the structured fault log; together with comm-level
+//!   timeouts/retry and trainer-level checkpoint-restart + DP-degradation
+//!   they make the runtime survive or cleanly report injected failures.
 
 // Numerical kernels here frequently walk several arrays with one shared
 // index; explicit indexed loops are clearer than zipped iterator chains in
@@ -26,14 +30,21 @@
 
 pub mod comm;
 pub mod data;
+pub mod events;
+pub mod fault;
 pub mod layout;
 pub mod schedule;
 pub mod stage;
 pub mod topology;
 pub mod trainer;
 
-pub use comm::{CommClass, Communicator, TrafficReport, World};
+pub use comm::{CommClass, CommConfig, CommError, Communicator, TrafficReport, World};
+pub use events::{EventLog, EventRecord, FaultEvent};
+pub use fault::{FaultPlan, MessageFault};
 pub use layout::ActLayout;
-pub use schedule::{one_f_one_b, Action};
+pub use schedule::{one_f_one_b, try_one_f_one_b, Action, ScheduleError};
+pub use stage::StageError;
 pub use topology::{RankCoords, SwipeTopology};
-pub use trainer::{DistributedTrainer, SwipeConfig, TrainReport};
+pub use trainer::{
+    CheckpointConfig, DistributedTrainer, SwipeConfig, SwipeError, TrainFailure, TrainReport,
+};

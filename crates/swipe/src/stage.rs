@@ -12,7 +12,7 @@
 //! backward runs as three `backward_from` passes with the transposed
 //! exchanges in between.
 
-use crate::comm::Communicator;
+use crate::comm::{CommError, Communicator};
 use crate::layout::ActLayout;
 use aeris_autodiff::{Grads, Tape, Var};
 use aeris_core::AerisModel;
@@ -55,36 +55,68 @@ pub struct StageModel {
     head_dim: usize,
 }
 
+/// Why a stage could not be built from a reference model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageError {
+    /// The reference model has no parameter with this name — the stage
+    /// partitioning and the model architecture are out of sync.
+    MissingParam(String),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::MissingParam(name) => {
+                write!(f, "reference model lacks parameter {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
 fn copy_param(
     map: &HashMap<String, Tensor>,
     store: &mut ParamStore,
     name: &str,
-) -> aeris_nn::ParamId {
-    let v = map
-        .get(name)
-        .unwrap_or_else(|| panic!("reference model lacks parameter {name}"))
-        .clone();
-    store.register(name.to_string(), v)
+) -> Result<aeris_nn::ParamId, StageError> {
+    let v = map.get(name).ok_or_else(|| StageError::MissingParam(name.to_string()))?.clone();
+    Ok(store.register(name.to_string(), v))
 }
 
-fn copy_linear(map: &HashMap<String, Tensor>, store: &mut ParamStore, lin: &Linear, name: &str) -> Linear {
-    let w = copy_param(map, store, &format!("{name}.w"));
-    let b = lin.b.map(|_| copy_param(map, store, &format!("{name}.b")));
-    Linear { w, b, in_dim: lin.in_dim, out_dim: lin.out_dim }
+fn copy_linear(
+    map: &HashMap<String, Tensor>,
+    store: &mut ParamStore,
+    lin: &Linear,
+    name: &str,
+) -> Result<Linear, StageError> {
+    let w = copy_param(map, store, &format!("{name}.w"))?;
+    let b = match lin.b {
+        Some(_) => Some(copy_param(map, store, &format!("{name}.b"))?),
+        None => None,
+    };
+    Ok(Linear { w, b, in_dim: lin.in_dim, out_dim: lin.out_dim })
 }
 
 /// `name` is the layer base name; the reference registers the gain under
 /// `{name}.gamma`.
-fn copy_rms(map: &HashMap<String, Tensor>, store: &mut ParamStore, norm: &RmsNorm, name: &str) -> RmsNorm {
-    let gamma = copy_param(map, store, &format!("{name}.gamma"));
-    RmsNorm { gamma, dim: norm.dim, eps: norm.eps }
+fn copy_rms(
+    map: &HashMap<String, Tensor>,
+    store: &mut ParamStore,
+    norm: &RmsNorm,
+    name: &str,
+) -> Result<RmsNorm, StageError> {
+    let gamma = copy_param(map, store, &format!("{name}.gamma"))?;
+    Ok(RmsNorm { gamma, dim: norm.dim, eps: norm.eps })
 }
 
 impl StageModel {
     /// Build a stage by copying the relevant parameters from a reference
     /// model. The reference must use `blocks_per_layer == 1` (one block per
-    /// stage, the configuration the distributed runtime supports).
-    pub fn from_reference(model: &AerisModel, kind: StageKind) -> Self {
+    /// stage, the configuration the distributed runtime supports). A
+    /// reference whose parameter set does not match the expected stage
+    /// partitioning yields [`StageError::MissingParam`].
+    pub fn from_reference(model: &AerisModel, kind: StageKind) -> Result<Self, StageError> {
         assert_eq!(
             model.cfg.blocks_per_layer, 1,
             "distributed runtime requires one block per Swin layer"
@@ -114,43 +146,48 @@ impl StageModel {
         };
         match kind {
             StageKind::Input => {
-                sm.embed = Some(copy_linear(&map, &mut store, &model.embed, "embed"));
+                sm.embed = Some(copy_linear(&map, &mut store, &model.embed, "embed")?);
             }
             StageKind::Block(b) => {
                 let blk = &model.blocks[b];
                 // Shared time conditioner replicated into every block stage.
-                let proj = copy_linear(&map, &mut store, &model.time_cond.proj, "time.proj");
+                let proj = copy_linear(&map, &mut store, &model.time_cond.proj, "time.proj")?;
                 sm.time_cond = Some(TimeConditioner {
                     proj,
                     feat_dim: model.time_cond.feat_dim,
                     cond_dim: model.time_cond.cond_dim,
                 });
                 let p = format!("block{b}");
-                sm.norm1 = Some(copy_rms(&map, &mut store, &blk.norm1, &format!("{p}.norm1")));
-                sm.wq = Some(copy_linear(&map, &mut store, &blk.attn.wq, &format!("{p}.attn.wq")));
-                sm.wk = Some(copy_linear(&map, &mut store, &blk.attn.wk, &format!("{p}.attn.wk")));
-                sm.wv = Some(copy_linear(&map, &mut store, &blk.attn.wv, &format!("{p}.attn.wv")));
-                sm.wo = Some(copy_linear(&map, &mut store, &blk.attn.wo, &format!("{p}.attn.wo")));
-                sm.norm2 = Some(copy_rms(&map, &mut store, &blk.norm2, &format!("{p}.norm2")));
+                sm.norm1 = Some(copy_rms(&map, &mut store, &blk.norm1, &format!("{p}.norm1"))?);
+                sm.wq = Some(copy_linear(&map, &mut store, &blk.attn.wq, &format!("{p}.attn.wq"))?);
+                sm.wk = Some(copy_linear(&map, &mut store, &blk.attn.wk, &format!("{p}.attn.wk"))?);
+                sm.wv = Some(copy_linear(&map, &mut store, &blk.attn.wv, &format!("{p}.attn.wv"))?);
+                sm.wo = Some(copy_linear(&map, &mut store, &blk.attn.wo, &format!("{p}.attn.wo"))?);
+                sm.norm2 = Some(copy_rms(&map, &mut store, &blk.norm2, &format!("{p}.norm2"))?);
                 sm.mlp = Some(SwiGlu {
-                    w_in: copy_linear(&map, &mut store, &blk.mlp.w_in, &format!("{p}.mlp.w_in")),
-                    w_down: copy_linear(&map, &mut store, &blk.mlp.w_down, &format!("{p}.mlp.w_down")),
+                    w_in: copy_linear(&map, &mut store, &blk.mlp.w_in, &format!("{p}.mlp.w_in"))?,
+                    w_down: copy_linear(
+                        &map,
+                        &mut store,
+                        &blk.mlp.w_down,
+                        &format!("{p}.mlp.w_down"),
+                    )?,
                     dim: blk.mlp.dim,
                     ffn: blk.mlp.ffn,
                 });
                 sm.adaln = Some(AdaLnHead {
-                    head: copy_linear(&map, &mut store, &blk.adaln.head, &format!("{p}.adaln")),
+                    head: copy_linear(&map, &mut store, &blk.adaln.head, &format!("{p}.adaln"))?,
                     dim: blk.adaln.dim,
                 });
                 sm.shifted = blk.shifted;
             }
             StageKind::Head => {
-                sm.out_norm = Some(copy_rms(&map, &mut store, &model.out_norm, "out_norm"));
-                sm.decode = Some(copy_linear(&map, &mut store, &model.decode, "decode"));
+                sm.out_norm = Some(copy_rms(&map, &mut store, &model.out_norm, "out_norm")?);
+                sm.decode = Some(copy_linear(&map, &mut store, &model.decode, "decode")?);
             }
         }
         sm.store = store;
-        sm
+        Ok(sm)
     }
 
     /// Names of this stage's parameters (reference-model names).
@@ -261,7 +298,7 @@ impl StageModel {
         rope: &RopeTable,
         comm: &mut Communicator,
         sp_group: &[usize],
-    ) -> StageRun {
+    ) -> Result<StageRun, CommError> {
         let (norm1, norm2) = (self.norm1.as_ref().expect("not a block"), self.norm2.as_ref().unwrap());
         let (wq, wk, wv, wo) = (
             self.wq.as_ref().unwrap(),
@@ -313,7 +350,7 @@ impl StageModel {
             qkv_sent.push(tape.concat_rows(&[qj, kj, vj]));
         }
         let chunks: Vec<Tensor> = qkv_sent.iter().map(|&var| tape.value(var).clone()).collect();
-        let received = comm.alltoall(sp_group, chunks);
+        let received = comm.alltoall(sp_group, chunks)?;
         let mut qkv_recv: Vec<Option<Var>> = Vec::with_capacity(sp);
         let mut qkv_vars: Vec<Var> = Vec::with_capacity(sp);
         for (i, tens) in received.into_iter().enumerate() {
@@ -376,7 +413,7 @@ impl StageModel {
             attn_sent.push(tape.concat_rows(&gathered)); // [rows, cols]
         }
         let chunks: Vec<Tensor> = attn_sent.iter().map(|&var| tape.value(var).clone()).collect();
-        let received = comm.alltoall(sp_group, chunks);
+        let received = comm.alltoall(sp_group, chunks)?;
         let mut attn_recv: Vec<Option<Var>> = Vec::with_capacity(sp);
         let mut attn_vars: Vec<Var> = Vec::with_capacity(sp);
         for (i, tens) in received.into_iter().enumerate() {
@@ -403,7 +440,7 @@ impl StageModel {
         let h3 = tape.mul_rows(h3, gate2);
         let out = tape.add(x_mid, h3);
 
-        StageRun {
+        Ok(StageRun {
             tape,
             binding,
             x_in: Some(x_in),
@@ -413,7 +450,7 @@ impl StageModel {
             attn_sent,
             attn_recv,
             loss: 0.0,
-        }
+        })
     }
 
     /// Block backward: three `backward_from` passes with transposed
@@ -426,7 +463,7 @@ impl StageModel {
         comm: &mut Communicator,
         sp_group: &[usize],
         param_grads: &mut [Option<Tensor>],
-    ) -> Tensor {
+    ) -> Result<Tensor, CommError> {
         let sp = sp_group.len();
         let me = sp_group.iter().position(|&r| r == comm.rank()).unwrap();
         let x_in = run.x_in.unwrap();
@@ -468,7 +505,7 @@ impl StageModel {
             }
         }
         accumulate(&mut pass1, &run.binding, &mut x_in_grad, param_grads);
-        let attn_sent_grads = comm.alltoall(sp_group, attn_chunks);
+        let attn_sent_grads = comm.alltoall(sp_group, attn_chunks)?;
 
         // Pass 2: seed grads of my attention outputs shipped to peers.
         let seeds: Vec<(Var, Tensor)> = (0..sp)
@@ -492,7 +529,7 @@ impl StageModel {
             qkv_chunks.push(g);
         }
         accumulate(&mut pass2, &run.binding, &mut x_in_grad, param_grads);
-        let qkv_sent_grads = comm.alltoall(sp_group, qkv_chunks);
+        let qkv_sent_grads = comm.alltoall(sp_group, qkv_chunks)?;
 
         // Pass 3: seed grads of my QKV chunks shipped to peers.
         let seeds: Vec<(Var, Tensor)> = (0..sp)
@@ -501,7 +538,7 @@ impl StageModel {
             .collect();
         let mut pass3 = run.tape.backward_from(&seeds);
         accumulate(&mut pass3, &run.binding, &mut x_in_grad, param_grads);
-        x_in_grad
+        Ok(x_in_grad)
     }
 
     /// Input-stage backward.

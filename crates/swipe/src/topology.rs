@@ -127,6 +127,22 @@ impl SwipeTopology {
         (c.stage > 0).then(|| RankCoords { stage: c.stage - 1, ..c })
     }
 
+    /// The subset of `ranks` whose data-parallel replica is still live.
+    /// Graceful degradation: a crashed rank takes its whole replica down, so
+    /// every collective group shrinks to the ranks of surviving replicas
+    /// (order is preserved — reductions stay deterministic).
+    pub fn filter_live(&self, ranks: &[usize], dead_dps: &[usize]) -> Vec<usize> {
+        ranks.iter().copied().filter(|&r| !dead_dps.contains(&self.coords_of(r).dp)).collect()
+    }
+
+    /// The data-parallel replicas containing any of `dead_ranks`, sorted.
+    pub fn dead_dps(&self, dead_ranks: &[usize]) -> Vec<usize> {
+        let mut dps: Vec<usize> = dead_ranks.iter().map(|&r| self.coords_of(r).dp).collect();
+        dps.sort_unstable();
+        dps.dedup();
+        dps
+    }
+
     /// All ranks of one stage within a dp replica (targets of a relayout).
     pub fn stage_ranks(&self, dp: usize, stage: usize) -> Vec<usize> {
         let mut out = Vec::new();
@@ -171,7 +187,7 @@ mod tests {
         let t = SwipeTopology::new(2, 3, 2, 1, 2);
         let c = t.coords_of(t.rank_of(RankCoords { dp: 0, stage: 1, wp_row: 0, wp_col: 0, sp: 0 }));
         let g = t.grad_group(c);
-        assert_eq!(g.len(), 2 * 2 * 1 * 2);
+        assert_eq!(g.len(), 8); // dp(2) x wp(2x1) x sp(2)
         for &r in &g {
             assert_eq!(t.coords_of(r).stage, 1);
         }
@@ -194,6 +210,28 @@ mod tests {
         // Table II: nodes per instance = WP × PP (SP inside the node).
         let t = SwipeTopology::new(1, 12, 2, 2, 12);
         assert_eq!(t.model_ranks() / t.sp, 4 * 12);
+    }
+
+    #[test]
+    fn live_filtering_preserves_order_and_drops_whole_replicas() {
+        let t = SwipeTopology::new(3, 2, 1, 1, 2);
+        let c = t.coords_of(0);
+        let g = t.grad_group(c);
+        // Kill one rank of replica 1: its entire replica must drop out.
+        let dead = t.dead_dps(&[t.rank_of(RankCoords { dp: 1, stage: 0, wp_row: 0, wp_col: 0, sp: 1 })]);
+        assert_eq!(dead, vec![1]);
+        let live = t.filter_live(&g, &dead);
+        assert_eq!(live.len(), g.len() - g.len() / 3);
+        for &r in &live {
+            assert_ne!(t.coords_of(r).dp, 1);
+        }
+        // Order preserved.
+        let mut sorted = live.clone();
+        sorted.sort_unstable();
+        let mut orig: Vec<usize> = g.iter().copied().filter(|r| live.contains(r)).collect();
+        assert_eq!(live, orig);
+        orig.sort_unstable();
+        assert_eq!(orig, sorted);
     }
 
     #[test]

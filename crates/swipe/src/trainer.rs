@@ -8,21 +8,49 @@
 //! [`reference_grads`] computes the *same* objective on a single rank with
 //! the same noise realizations, enabling the distributed ≡ single-rank
 //! equivalence tests in `tests/`.
+//!
+//! Fault tolerance:
+//! - every communication failure surfaces as a typed [`SwipeError`] through
+//!   [`DistributedTrainer::train`]'s `Result` — a lost message or dead peer
+//!   ends the run with an error within the comm deadline, never a deadlock;
+//! - a planned step-boundary crash ([`FaultPlan::crash_rank`]) degrades
+//!   gracefully: the dead rank's entire data-parallel replica retires, the
+//!   surviving groups shrink (in group order, keeping reductions
+//!   deterministic), and gradient averaging rescales to the surviving global
+//!   batch;
+//! - coordinated checkpoints ([`CheckpointConfig`]) serialize the canonical
+//!   replica's parameters, each ZeRO-1 owner's AdamW moments, and the step
+//!   counters; [`SwipeConfig::resume_from`] restores them and — because
+//!   diffusion times and noise are stateless functions of `(seed, step)` —
+//!   reproduces the uninterrupted run bitwise from the checkpointed step on.
 
-use crate::comm::{CommClass, Communicator, TrafficReport, World};
+use crate::comm::{CommClass, CommConfig, CommError, Communicator, TrafficReport, World};
 use crate::data::{gather, Field, WindowSource};
+use crate::events::{EventRecord, FaultEvent};
+use crate::fault::FaultPlan;
 use crate::layout::ActLayout;
-use crate::schedule::{one_f_one_b, Action};
-use crate::stage::{StageKind, StageModel, StageRun};
+use crate::schedule::{try_one_f_one_b, Action, ScheduleError};
+use crate::stage::{StageError, StageKind, StageModel, StageRun};
 use crate::topology::{RankCoords, SwipeTopology};
 use aeris_core::AerisModel;
 use aeris_diffusion::TrigFlow;
+use aeris_nn::checkpoint::{entry_u64, load_entries, save_entries, u64_entry};
 use aeris_nn::window::WindowGrid;
 use aeris_nn::{AdamW, AdamWConfig, ParamId, RopeTable};
 use aeris_tensor::{Rng, Tensor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Coordinated checkpointing policy.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory for checkpoint files (`step_NNNNNN.ckpt`).
+    pub dir: PathBuf,
+    /// Save after every `every` completed steps.
+    pub every: usize,
+}
 
 /// Distributed training configuration.
 #[derive(Clone, Debug)]
@@ -37,19 +65,120 @@ pub struct SwipeConfig {
     /// Base seed for diffusion times and noise fields.
     pub seed: u64,
     pub adamw: AdamWConfig,
+    /// Communication timeout / retry policy.
+    pub comm: CommConfig,
+    /// Injected faults (None = fault-free; hooks stay dormant).
+    pub faults: Option<FaultPlan>,
+    /// Coordinated checkpointing (None = no checkpoints).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from a checkpoint file written by a previous run.
+    pub resume_from: Option<PathBuf>,
 }
+
+impl SwipeConfig {
+    /// A minimal configuration for `topo`; override fields with struct-update
+    /// syntax (`SwipeConfig { gas: 2, ..SwipeConfig::new(topo) }`).
+    pub fn new(topo: SwipeTopology) -> Self {
+        SwipeConfig {
+            topo,
+            gas: 1,
+            n_steps: 1,
+            lr: 1e-3,
+            seed: 0,
+            adamw: AdamWConfig::default(),
+            comm: CommConfig::default(),
+            faults: None,
+            checkpoint: None,
+            resume_from: None,
+        }
+    }
+}
+
+/// A typed distributed-training failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwipeError {
+    /// A communication operation failed (timeout, dead peer, own crash).
+    Comm(CommError),
+    /// Stage construction failed (reference/stage parameter mismatch).
+    Stage(StageError),
+    /// The pipeline schedule could not be built.
+    Schedule(ScheduleError),
+    /// Checkpoint I/O or validation failed (message carries the cause).
+    Checkpoint(String),
+    /// Every data-parallel replica was lost to planned crashes.
+    AllReplicasLost { step: usize },
+}
+
+impl std::fmt::Display for SwipeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwipeError::Comm(e) => write!(f, "communication failure: {e}"),
+            SwipeError::Stage(e) => write!(f, "stage construction failure: {e}"),
+            SwipeError::Schedule(e) => write!(f, "schedule failure: {e}"),
+            SwipeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            SwipeError::AllReplicasLost { step } => {
+                write!(f, "all data-parallel replicas lost by step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwipeError {}
+
+impl From<CommError> for SwipeError {
+    fn from(e: CommError) -> Self {
+        SwipeError::Comm(e)
+    }
+}
+
+impl From<StageError> for SwipeError {
+    fn from(e: StageError) -> Self {
+        SwipeError::Stage(e)
+    }
+}
+
+impl From<ScheduleError> for SwipeError {
+    fn from(e: ScheduleError) -> Self {
+        SwipeError::Schedule(e)
+    }
+}
+
+/// A failed run: the first error plus the fault log up to the failure, so
+/// callers can still see which faults were injected and recovered before the
+/// fatal one.
+#[derive(Clone, Debug)]
+pub struct TrainFailure {
+    pub error: SwipeError,
+    pub events: Vec<EventRecord>,
+}
+
+impl std::fmt::Display for TrainFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} fault events logged)", self.error, self.events.len())
+    }
+}
+
+impl std::error::Error for TrainFailure {}
 
 /// What a training run reports back.
 pub struct TrainReport {
-    /// Global objective per step.
+    /// Global objective per step (absolute step index; entries before
+    /// `start_step` of a resumed run are 0, and entries for steps after all
+    /// replicas retired are 0).
     pub losses: Vec<f64>,
+    /// First step this run actually executed (>0 when resumed).
+    pub start_step: usize,
     /// Communication traffic by class.
     pub traffic: TrafficReport,
     /// Maximum concurrently-live activation elements on any rank.
     pub max_activation_elems: usize,
-    /// Final parameters (reference-model names), from the dp=0/wp=(0,0)/sp=0
-    /// replica of each stage.
+    /// Final parameters (reference-model names), from the lowest surviving
+    /// dp / wp=(0,0) / sp=0 replica of each stage.
     pub final_params: HashMap<String, Tensor>,
+    /// The fault log (empty for fault-free runs without checkpoints).
+    pub events: Vec<EventRecord>,
+    /// Communication operations performed, per rank.
+    pub comm_ops: Vec<u64>,
 }
 
 /// The shared diffusion time for (step, dp, microbatch): identical on every
@@ -132,20 +261,78 @@ pub fn reference_grads(
     (total_loss / count as f64, by_name)
 }
 
+/// State recovered from a checkpoint file before ranks spawn.
+struct ResumeState {
+    /// First step the resumed run executes.
+    start_step: usize,
+    /// AdamW step counter at the checkpoint.
+    adamw_steps: u64,
+    /// Reference model with checkpointed parameters.
+    model: AerisModel,
+    /// `opt.m/<name>` / `opt.v/<name>` entries for optimizer rehydration.
+    moments: HashMap<String, Tensor>,
+}
+
+fn ckpt_err(msg: impl std::fmt::Display) -> SwipeError {
+    SwipeError::Checkpoint(msg.to_string())
+}
+
+/// Load and validate a checkpoint written by [`run_rank`]'s save protocol.
+fn load_resume_state(
+    reference: &AerisModel,
+    cfg: &SwipeConfig,
+    path: &Path,
+) -> Result<ResumeState, SwipeError> {
+    let entries = load_entries(path).map_err(ckpt_err)?;
+    let map: HashMap<String, Tensor> = entries.into_iter().collect();
+    let get_u64 = |key: &str| -> Result<u64, SwipeError> {
+        entry_u64(map.get(key).ok_or_else(|| ckpt_err(format!("missing {key}")))?)
+            .map_err(ckpt_err)
+    };
+    let start_step = get_u64("meta/step")? as usize;
+    let adamw_steps = get_u64("meta/adamw_steps")?;
+    if get_u64("meta/world")? as usize != cfg.topo.world_size() {
+        return Err(ckpt_err("checkpoint topology does not match this run"));
+    }
+    if get_u64("meta/seed")? != cfg.seed {
+        return Err(ckpt_err("checkpoint seed does not match this run"));
+    }
+    let mut model = AerisModel::new(reference.cfg.clone());
+    let ids: Vec<(ParamId, String)> =
+        model.store.iter().map(|(id, n, _)| (id, n.to_string())).collect();
+    for (id, name) in ids {
+        let saved = map
+            .get(&format!("param/{name}"))
+            .ok_or_else(|| ckpt_err(format!("checkpoint missing parameter {name}")))?;
+        if saved.shape() != model.store.get(id).shape() {
+            return Err(ckpt_err(format!("shape mismatch for parameter {name}")));
+        }
+        *model.store.get_mut(id) = saved.clone();
+    }
+    let moments = map.into_iter().filter(|(k, _)| k.starts_with("opt.")).collect();
+    Ok(ResumeState { start_step, adamw_steps, model, moments })
+}
+
 /// The distributed trainer entry point.
 pub struct DistributedTrainer;
 
 impl DistributedTrainer {
     /// Run `cfg.n_steps` of SWiPe training starting from `reference`'s
-    /// parameters. `schedule[step][dp]` lists the GAS sample indices each
-    /// data-parallel replica consumes at that step.
+    /// parameters (or from `cfg.resume_from`'s checkpoint). `schedule[step]
+    /// [dp]` lists the GAS sample indices each data-parallel replica consumes
+    /// at that step.
+    ///
+    /// Fails with a typed [`TrainFailure`] — carrying the fault log — if a
+    /// rank dies mid-step or a communication deadline expires; completes with
+    /// a degraded (DP-shrunk) run when crashes are planned at step
+    /// boundaries.
     pub fn train(
         reference: &AerisModel,
         cfg: &SwipeConfig,
         source: &(dyn WindowSource + Sync),
         schedule: &[Vec<Vec<usize>>],
         weights: &Tensor,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainFailure> {
         let topo = cfg.topo;
         assert_eq!(
             topo.pp,
@@ -159,32 +346,66 @@ impl DistributedTrainer {
                 assert_eq!(micro.len(), cfg.gas);
             }
         }
-        let world = World::new(topo.world_size());
+        let world = World::with_config(topo.world_size(), cfg.comm, cfg.faults.clone());
+        let fail = |error: SwipeError, world: &World| TrainFailure {
+            error,
+            events: world.events().snapshot(),
+        };
+
+        let resume = match &cfg.resume_from {
+            Some(path) => match load_resume_state(reference, cfg, path) {
+                Ok(r) => Some(r),
+                Err(e) => return Err(fail(e, &world)),
+            },
+            None => None,
+        };
+        let start_step = resume.as_ref().map_or(0, |r| r.start_step);
+        let reference = resume.as_ref().map_or(reference, |r| &r.model);
+        let resume_opt = resume.as_ref().map(|r| (&r.moments, r.adamw_steps));
+
         let losses: Mutex<Vec<f64>> = Mutex::new(vec![0.0; cfg.n_steps]);
         let final_params: Mutex<HashMap<String, Tensor>> = Mutex::new(HashMap::new());
+        let ckpt_buf: Mutex<HashMap<String, Tensor>> = Mutex::new(HashMap::new());
         let max_act = AtomicUsize::new(0);
+        let errors: Mutex<Vec<SwipeError>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for rank in 0..topo.world_size() {
                 let comm = world.communicator(rank);
+                let world = world.clone();
                 let losses = &losses;
                 let final_params = &final_params;
+                let ckpt_buf = &ckpt_buf;
                 let max_act = &max_act;
+                let errors = &errors;
                 scope.spawn(move || {
-                    run_rank(
+                    let result = run_rank(
                         comm, topo, cfg, reference, source, schedule, weights, losses,
-                        final_params, max_act,
+                        final_params, ckpt_buf, max_act, start_step, resume_opt,
                     );
+                    if let Err(e) = result {
+                        // A failed rank can no longer feed its peers: mark it
+                        // dead so their waits collapse into fast PeerDead
+                        // errors instead of sleeping out the full deadline.
+                        world.mark_dead(rank);
+                        errors.lock().push(e);
+                    }
                 });
             }
         });
 
-        TrainReport {
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(fail(e, &world));
+        }
+        Ok(TrainReport {
             losses: losses.into_inner(),
+            start_step,
             traffic: world.traffic(),
             max_activation_elems: max_act.load(Ordering::Relaxed),
             final_params: final_params.into_inner(),
-        }
+            events: world.events().snapshot(),
+            comm_ops: world.op_counts(),
+        })
     }
 }
 
@@ -199,8 +420,11 @@ fn run_rank(
     weights: &Tensor,
     losses: &Mutex<Vec<f64>>,
     final_params: &Mutex<HashMap<String, Tensor>>,
+    ckpt_buf: &Mutex<HashMap<String, Tensor>>,
     max_act: &AtomicUsize,
-) {
+    start_step: usize,
+    resume_opt: Option<(&HashMap<String, Tensor>, u64)>,
+) -> Result<(), SwipeError> {
     let coords = topo.coords_of(comm.rank());
     let mcfg = &reference.cfg;
     let grid = WindowGrid::new(mcfg.grid_h, mcfg.grid_w, mcfg.window.0, mcfg.window.1);
@@ -212,7 +436,7 @@ fn run_rank(
         s if s == topo.pp - 1 => StageKind::Head,
         s => StageKind::Block(s - 1),
     };
-    let stage_model = StageModel::from_reference(reference, kind);
+    let stage_model = StageModel::from_reference(reference, kind)?;
 
     // Layouts: stage 0 uses block 0's layout; block b its own; head uses the
     // last block's.
@@ -264,10 +488,66 @@ fn run_rank(
     let mut opt = AdamW::new(&stage_model.store, cfg.adamw);
     let mut stage_model = stage_model;
 
-    let actions = one_f_one_b(coords.stage, topo.pp, cfg.gas);
-    let dim = mcfg.dim;
+    // Checkpoint-restart: rehydrate this rank's optimizer slice. Every
+    // parameter's moments are in the checkpoint (saved by its owner at save
+    // time); loading them everywhere is harmless — non-owners never read
+    // their moment slots.
+    if let Some((moments, adamw_steps)) = resume_opt {
+        for i in 0..stage_model.store.len() {
+            let name = stage_model.store.name(ParamId(i)).to_string();
+            for (prefix, slot) in [("opt.m/", 0usize), ("opt.v/", 1usize)] {
+                if let Some(saved) = moments.get(&format!("{prefix}{name}")) {
+                    let state = opt.state_mut(i);
+                    let target = if slot == 0 { state.0 } else { state.1 };
+                    if saved.shape() != target.shape() {
+                        return Err(ckpt_err(format!("moment shape mismatch for {name}")));
+                    }
+                    *target = saved.clone();
+                }
+            }
+        }
+        opt.set_steps(adamw_steps);
+    }
 
-    for step in 0..cfg.n_steps {
+    let actions = try_one_f_one_b(coords.stage, topo.pp, cfg.gas)?;
+    let dim = mcfg.dim;
+    let mut prev_live_dp = topo.dp;
+
+    for step in start_step..cfg.n_steps {
+        // ---- step-boundary fault-plan reconfiguration ----
+        // The plan is shared knowledge: every rank derives the same dead set
+        // for this step without any agreement protocol.
+        if comm.planned_crash(step) {
+            return Ok(());
+        }
+        let dead_dps = match cfg.faults.as_ref() {
+            Some(plan) => topo.dead_dps(&plan.dead_ranks_at(step)),
+            None => Vec::new(),
+        };
+        if dead_dps.contains(&coords.dp) {
+            // A member of my replica crashed: the whole replica retires.
+            comm.world().events().record(
+                comm.rank(),
+                FaultEvent::ReplicaRetired { rank: comm.rank(), dp: coords.dp, step },
+            );
+            if dead_dps.len() == topo.dp {
+                return Err(SwipeError::AllReplicasLost { step });
+            }
+            return Ok(());
+        }
+        let live_dp = topo.dp - dead_dps.len();
+        let grad_group_live = topo.filter_live(&grad_group, &dead_dps);
+        let shared_group_live = topo.filter_live(&shared_group, &dead_dps);
+        let all_live = topo.filter_live(&all_ranks, &dead_dps);
+        if live_dp != prev_live_dp {
+            prev_live_dp = live_dp;
+            if comm.rank() == all_live[0] {
+                comm.world()
+                    .events()
+                    .record(comm.rank(), FaultEvent::GroupRescaled { step, live_dp });
+            }
+        }
+
         let mut runs: HashMap<usize, StageRun> = HashMap::new();
         let mut grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
         let mut my_loss = 0.0f64;
@@ -291,29 +571,29 @@ fn run_rank(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
                                 run.tape.value(run.out),
-                            );
+                            )?;
                             runs.insert(m, run);
                         }
                         StageKind::Block(_) => {
                             let x_in = recv_relayout(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, my_layout.rows_per_rank(), dim,
-                            );
+                            )?;
                             let run = stage_model.forward_block(
                                 x_in, t, &my_layout, &rope, &mut comm, &sp_group,
-                            );
+                            )?;
                             send_relayout(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
                                 run.tape.value(run.out),
-                            );
+                            )?;
                             runs.insert(m, run);
                         }
                         StageKind::Head => {
                             let x_in = recv_relayout(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, my_layout.rows_per_rank(), dim,
-                            );
+                            )?;
                             let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
                             let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
                             let v_target = tf.velocity_target(&x0, &z, t);
@@ -333,28 +613,28 @@ fn run_rank(
                             send_grads_back(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, &g_in,
-                            );
+                            )?;
                         }
                         StageKind::Block(_) => {
                             let g_out = recv_grads_back(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
                                 my_layout.rows_per_rank(), dim,
-                            );
+                            )?;
                             let g_in = stage_model.backward_block(
                                 run, g_out, &mut comm, &sp_group, &mut grads,
-                            );
+                            )?;
                             send_grads_back(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, &g_in,
-                            );
+                            )?;
                         }
                         StageKind::Input => {
                             let g_out = recv_grads_back(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
                                 my_layout.rows_per_rank(), dim,
-                            );
+                            )?;
                             stage_model.backward_input(run, g_out, &mut grads);
                         }
                     }
@@ -365,14 +645,14 @@ fn run_rank(
             max_act.fetch_max(live, Ordering::Relaxed);
         }
 
-        // ---- gradient reduction ----
-        let gbs = (topo.dp * cfg.gas) as f32;
+        // ---- gradient reduction (rescaled to the surviving global batch) ----
+        let gbs = (live_dp * cfg.gas) as f32;
         for i in 0..stage_model.store.len() {
             let shape = stage_model.store.get(ParamId(i)).shape().to_vec();
             let local = grads[i].take().unwrap_or_else(|| Tensor::zeros(&shape));
             let group: &[usize] =
-                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
-            let mut reduced = comm.allreduce_sum(group, &local);
+                if shared_ixs.contains(&i) { &shared_group_live } else { &grad_group_live };
+            let mut reduced = comm.allreduce_sum(group, &local)?;
             reduced.scale_inplace(1.0 / gbs);
             grads[i] = Some(reduced);
         }
@@ -383,7 +663,7 @@ fn run_rank(
         let mut own_grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
         for i in 0..stage_model.store.len() {
             let group: &[usize] =
-                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
+                if shared_ixs.contains(&i) { &shared_group_live } else { &grad_group_live };
             let owner = group[i % group.len()];
             if owner == comm.rank() {
                 own_grads[i] = grads[i].take();
@@ -392,28 +672,47 @@ fn run_rank(
         opt.step(&mut stage_model.store, &own_grads, cfg.lr);
         for i in 0..stage_model.store.len() {
             let group: &[usize] =
-                if shared_ixs.contains(&i) { &shared_group } else { &grad_group };
+                if shared_ixs.contains(&i) { &shared_group_live } else { &grad_group_live };
             let owner_ix = i % group.len();
             let value = if group[owner_ix] == comm.rank() {
                 Some(stage_model.store.get(ParamId(i)).clone())
             } else {
                 None
             };
-            let fresh = comm.broadcast(group, owner_ix, value);
+            let fresh = comm.broadcast(group, owner_ix, value)?;
             *stage_model.store.get_mut(ParamId(i)) = fresh;
         }
 
-        // ---- loss reporting: sum local head losses over all ranks ----
+        // ---- loss reporting: sum local head losses over live ranks ----
         let loss_sum = comm
-            .allreduce_sum(&all_ranks, &Tensor::from_slice(&[my_loss as f32]))
+            .allreduce_sum(&all_live, &Tensor::from_slice(&[my_loss as f32]))?
             .data()[0] as f64;
-        if comm.rank() == 0 {
-            losses.lock()[step] = loss_sum / (topo.dp * cfg.gas) as f64;
+        if comm.rank() == all_live[0] {
+            losses.lock()[step] = loss_sum / (live_dp * cfg.gas) as f64;
+        }
+
+        // ---- coordinated checkpoint ----
+        let due = cfg
+            .checkpoint
+            .as_ref()
+            .filter(|c| c.every > 0 && (step + 1) % c.every == 0);
+        if let Some(ck) = due {
+            save_checkpoint(
+                &mut comm, &topo, cfg, coords, &stage_model, &opt, &shared_ixs,
+                &grad_group_live, &shared_group_live, &all_live, &dead_dps, ckpt_buf, ck,
+                step,
+            )?;
         }
     }
 
-    // Contribute final params from the canonical replica.
-    if coords.dp == 0 && coords.wp_row == 0 && coords.wp_col == 0 && coords.sp == 0 {
+    // Contribute final params from the canonical (lowest surviving dp)
+    // replica.
+    let final_dead = match cfg.faults.as_ref() {
+        Some(plan) => topo.dead_dps(&plan.dead_ranks_at(cfg.n_steps.saturating_sub(1))),
+        None => Vec::new(),
+    };
+    let canonical_dp = (0..topo.dp).find(|dp| !final_dead.contains(dp)).unwrap_or(0);
+    if coords.dp == canonical_dp && coords.wp_row == 0 && coords.wp_col == 0 && coords.sp == 0 {
         let mut fp = final_params.lock();
         for (_, name, v) in stage_model.store.iter() {
             // Shared params exist on every block stage; one copy suffices
@@ -421,6 +720,73 @@ fn run_rank(
             fp.entry(name.to_string()).or_insert_with(|| v.clone());
         }
     }
+    Ok(())
+}
+
+/// Coordinated checkpoint save: each rank contributes its slice into the
+/// shared buffer, everyone synchronizes, and the lowest live rank writes the
+/// file. The canonical (lowest surviving dp, wp=(0,0), sp=0) replica covers
+/// parameters; each ZeRO-1 owner covers its AdamW moments.
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    comm: &mut Communicator,
+    topo: &SwipeTopology,
+    cfg: &SwipeConfig,
+    coords: RankCoords,
+    stage_model: &StageModel,
+    opt: &AdamW,
+    shared_ixs: &[usize],
+    grad_group_live: &[usize],
+    shared_group_live: &[usize],
+    all_live: &[usize],
+    dead_dps: &[usize],
+    ckpt_buf: &Mutex<HashMap<String, Tensor>>,
+    ck: &CheckpointConfig,
+    step: usize,
+) -> Result<(), SwipeError> {
+    let canonical_dp = (0..topo.dp).find(|dp| !dead_dps.contains(dp)).unwrap_or(0);
+    let canonical =
+        coords.dp == canonical_dp && coords.wp_row == 0 && coords.wp_col == 0 && coords.sp == 0;
+    {
+        let mut buf = ckpt_buf.lock();
+        for i in 0..stage_model.store.len() {
+            let name = stage_model.store.name(ParamId(i)).to_string();
+            if canonical {
+                buf.insert(format!("param/{name}"), stage_model.store.get(ParamId(i)).clone());
+            }
+            let group: &[usize] =
+                if shared_ixs.contains(&i) { shared_group_live } else { grad_group_live };
+            if group[i % group.len()] == comm.rank() {
+                let (m, v) = opt.state(i);
+                buf.insert(format!("opt.m/{name}"), m.clone());
+                buf.insert(format!("opt.v/{name}"), v.clone());
+            }
+        }
+    }
+    // All contributions in before the writer drains the buffer.
+    comm.barrier(all_live)?;
+    if comm.rank() == all_live[0] {
+        let mut entries: Vec<(String, Tensor)> = {
+            let mut buf = ckpt_buf.lock();
+            std::mem::take(&mut *buf).into_iter().collect()
+        };
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.push(u64_entry("meta/step", (step + 1) as u64));
+        entries.push(u64_entry("meta/adamw_steps", opt.steps()));
+        entries.push(u64_entry("meta/world", topo.world_size() as u64));
+        entries.push(u64_entry("meta/seed", cfg.seed));
+        let path = ck.dir.join(format!("step_{:06}.ckpt", step + 1));
+        std::fs::create_dir_all(&ck.dir).map_err(ckpt_err)?;
+        save_entries(&entries, &path).map_err(ckpt_err)?;
+        comm.world().events().record(
+            comm.rank(),
+            FaultEvent::CheckpointSaved { next_step: step + 1, path: path.display().to_string() },
+        );
+    }
+    // Nobody races into the next checkpoint's contributions while the writer
+    // is still draining this one.
+    comm.barrier(all_live)?;
+    Ok(())
 }
 
 /// Send a relayouted activation to the next stage.
@@ -431,7 +797,7 @@ fn send_relayout(
     src_layout: &ActLayout,
     dst_layout: &ActLayout,
     value: &Tensor,
-) {
+) -> Result<(), CommError> {
     for msg in src_layout.routing_to(dst_layout, coords.wp_row, coords.wp_col, coords.sp) {
         let dst_rank = topo.rank_of(RankCoords {
             dp: coords.dp,
@@ -441,8 +807,9 @@ fn send_relayout(
             sp: msg.dst.2,
         });
         let payload = gather(value, &msg.src_rows);
-        comm.send(dst_rank, CommClass::P2p, vec![payload]);
+        comm.send(dst_rank, CommClass::P2p, vec![payload])?;
     }
+    Ok(())
 }
 
 /// Receive a relayouted activation from the previous stage.
@@ -454,7 +821,7 @@ fn recv_relayout(
     dst_layout: &ActLayout,
     rows: usize,
     dim: usize,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let mut out = Tensor::zeros(&[rows, dim]);
     for ((ra, rb, sp), msg) in
         ActLayout::routing_from(src_layout, dst_layout, coords.wp_row, coords.wp_col, coords.sp)
@@ -466,12 +833,12 @@ fn recv_relayout(
             wp_col: rb,
             sp,
         });
-        let payload = comm.recv(src_rank).pop().unwrap();
+        let payload = comm.recv(src_rank)?.pop().unwrap();
         for (i, &drow) in msg.dst_rows.iter().enumerate() {
             out.row_mut(drow).copy_from_slice(payload.row(i));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Send input-gradients back to the previous stage (transpose of
@@ -483,7 +850,7 @@ fn send_grads_back(
     src_layout: &ActLayout,
     dst_layout: &ActLayout,
     g_in: &Tensor,
-) {
+) -> Result<(), CommError> {
     for ((ra, rb, sp), msg) in
         ActLayout::routing_from(src_layout, dst_layout, coords.wp_row, coords.wp_col, coords.sp)
     {
@@ -495,8 +862,9 @@ fn send_grads_back(
             sp,
         });
         let payload = gather(g_in, &msg.dst_rows);
-        comm.send(src_rank, CommClass::P2p, vec![payload]);
+        comm.send(src_rank, CommClass::P2p, vec![payload])?;
     }
+    Ok(())
 }
 
 /// Receive output-gradients from the next stage (transpose of
@@ -509,7 +877,7 @@ fn recv_grads_back(
     dst_layout: &ActLayout,
     rows: usize,
     dim: usize,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let mut out = Tensor::zeros(&[rows, dim]);
     for msg in src_layout.routing_to(dst_layout, coords.wp_row, coords.wp_col, coords.sp) {
         let dst_rank = topo.rank_of(RankCoords {
@@ -519,10 +887,10 @@ fn recv_grads_back(
             wp_col: msg.dst.1,
             sp: msg.dst.2,
         });
-        let payload = comm.recv(dst_rank).pop().unwrap();
+        let payload = comm.recv(dst_rank)?.pop().unwrap();
         for (i, &srow) in msg.src_rows.iter().enumerate() {
             out.row_mut(srow).copy_from_slice(payload.row(i));
         }
     }
-    out
+    Ok(out)
 }

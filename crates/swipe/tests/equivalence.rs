@@ -2,6 +2,8 @@
 //! numerically equivalent to single-rank training, and the communication /
 //! memory / I/O properties the paper claims are measured, not assumed.
 
+#![allow(clippy::needless_range_loop)]
+
 use aeris_core::{AerisConfig, AerisModel, TrainSample};
 use aeris_diffusion::loss_weights;
 use aeris_earthsim::Grid;
@@ -88,12 +90,13 @@ fn distributed_training_equals_single_rank() {
         lr: 1e-3,
         seed: 5,
         adamw: AdamWConfig::default(),
+        ..SwipeConfig::new(topo)
     };
     let sched = schedule(2, 2, 2, 8);
 
     // Distributed run.
     let reference = AerisModel::new(cfg.clone());
-    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
 
     // Single-rank reference with identical noise/time realizations.
     let mut ref_model = AerisModel::new(cfg.clone());
@@ -151,10 +154,11 @@ fn wp_reduces_alltoall_and_p2p_but_not_allreduce() {
             lr: 1e-3,
             seed: 9,
             adamw: AdamWConfig::default(),
+            ..SwipeConfig::new(topo)
         };
         let sched = schedule(1, 1, 2, 4);
         let reference = AerisModel::new(cfg.clone());
-        let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+        let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
         // Per-rank averages for a block-stage rank (stage 1, wp 0/0, sp 0).
         let block_rank = topo.rank_of(aeris_swipe::RankCoords {
             dp: 0,
@@ -209,10 +213,11 @@ fn wp_reduces_activation_memory() {
             lr: 1e-3,
             seed: 13,
             adamw: AdamWConfig::default(),
+            ..SwipeConfig::new(topo)
         };
         let sched = schedule(1, 1, 2, 4);
         let reference = AerisModel::new(cfg.clone());
-        DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights)
+        DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run")
             .max_activation_elems
     };
     let act_1 = run(1);
@@ -241,10 +246,11 @@ fn windowed_io_scales_inversely_with_wp() {
             lr: 1e-3,
             seed: 17,
             adamw: AdamWConfig::default(),
+            ..SwipeConfig::new(topo)
         };
         let sched = schedule(1, 1, 2, 4);
         let reference = AerisModel::new(cfg.clone());
-        let _ = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+        let _ = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
         source.prev.bytes_read()
     };
 
@@ -273,10 +279,11 @@ fn distributed_loss_decreases_over_steps() {
         lr: 3e-3,
         seed: 21,
         adamw: AdamWConfig::default(),
+        ..SwipeConfig::new(topo)
     };
     let sched = schedule(6, 1, 4, 4);
     let reference = AerisModel::new(cfg);
-    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
     assert!(report.losses.iter().all(|l| l.is_finite()));
     assert!(
         report.losses[5] < report.losses[0],
@@ -302,10 +309,11 @@ fn equivalence_holds_on_2d_window_grid() {
         lr: 1e-3,
         seed: 23,
         adamw: AdamWConfig::default(),
+        ..SwipeConfig::new(topo)
     };
     let sched = schedule(1, 1, 2, 4);
     let reference = AerisModel::new(cfg.clone());
-    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights);
+    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &sched, &weights).expect("fault-free run");
 
     let mut ref_model = AerisModel::new(cfg);
     let mut opt = AdamW::new(&ref_model.store, AdamWConfig::default());

@@ -29,7 +29,7 @@ pub mod rng;
 pub mod tensor;
 
 pub use matmul::{matmul, matmul_into, matmul_tn, matmul_nt};
-pub use rng::Rng;
+pub use rng::{Rng, RngSnapshot};
 pub use tensor::Tensor;
 
 /// Pairwise (tree) summation of a slice: O(log n) rounding-error growth and a

@@ -60,13 +60,14 @@ fn main() {
         lr: 1e-3,
         seed: 5,
         adamw: AdamWConfig::default(),
+        ..SwipeConfig::new(topo)
     };
     let schedule: Vec<Vec<Vec<usize>>> =
         (0..2).map(|s| (0..2).map(|d| vec![2 * s + d, (2 * s + d + 3) % 8]).collect()).collect();
 
     let reference = AerisModel::new(cfg.clone());
     println!("running distributed SWiPe training (2 steps, GAS=2)…");
-    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &schedule, &weights);
+    let report = DistributedTrainer::train(&reference, &swipe_cfg, &source, &schedule, &weights).expect("fault-free run");
     println!("  losses: {:?}", report.losses);
 
     // The same two steps on a single rank with identical noise realizations.

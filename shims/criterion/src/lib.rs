@@ -1,0 +1,116 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the API surface the workspace's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group`/`finish`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (warm up, pick an iteration count that fills
+//! the measurement window, report mean per-iteration time) — adequate for
+//! the relative comparisons recorded in EXPERIMENTS.md, with none of
+//! criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs one benchmark body repeatedly and accumulates elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_calibrated<F: FnMut(&mut Bencher)>(label: &str, mut body: F) {
+    // Warm-up pass; also measures a single iteration to size the real run.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    body(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let window = Duration::from_millis(300);
+    let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    body(&mut b);
+    let mean = b.elapsed / iters as u32;
+    println!("bench: {label:<40} {mean:>12.2?}/iter ({iters} iters)");
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        body: F,
+    ) -> &mut Self {
+        run_calibrated(&id.into(), body);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+}
+
+/// Named group: labels are prefixed, matching criterion's `group/bench` ids.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        body: F,
+    ) -> &mut Self {
+        run_calibrated(&format!("{}/{}", self.name, id.into()), body);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

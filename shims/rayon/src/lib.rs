@@ -1,0 +1,60 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real rayon cannot be fetched. This shim provides the exact adapter
+//! surface the workspace uses — `par_chunks_mut`, `into_par_iter`, `par_iter`
+//! with `enumerate`/`map`/`for_each`/`collect` — executed sequentially.
+//! The target box is single-core, so sequential execution matches real
+//! rayon's effective behaviour there; on multicore machines this trades
+//! speed for zero dependencies, never correctness (all call sites are
+//! data-parallel and order-insensitive, and reductions in `aeris-tensor`
+//! are deterministic by construction).
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Sequential counterpart of rayon's `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Sequential counterpart of rayon's `par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential counterpart of rayon's `into_par_iter` / `par_iter`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_and_ranges_behave_like_std() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(v, [0, 0, 1, 1, 2, 2, 3, 3]);
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, [0, 1, 4, 9, 16]);
+    }
+}

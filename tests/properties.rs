@@ -219,7 +219,7 @@ proptest! {
                     s.spawn(move || {
                         let mut rng = Rng::seed_from(r as u64);
                         let v = Tensor::randn(&[len], &mut rng);
-                        let out = comm.allreduce_sum(&g, &v);
+                        let out = comm.allreduce_sum(&g, &v).unwrap();
                         results.lock().unwrap()[r] = Some(out);
                     });
                 }
@@ -234,6 +234,47 @@ proptest! {
         // All ranks agree.
         for x in &a[1..] {
             prop_assert_eq!(x.as_ref().unwrap(), a[0].as_ref().unwrap());
+        }
+    }
+
+    /// Delay-only fault plans perturb timing, never values: collectives under
+    /// a random seeded delay schedule are bitwise identical to the fault-free
+    /// run.
+    #[test]
+    fn delay_faults_never_change_collective_results(
+        seed in 0u64..1000,
+        n in 2usize..5,
+        len in 1usize..48,
+    ) {
+        use aeris::swipe::{FaultPlan, World};
+        let run = |world: World| {
+            let group: Vec<usize> = (0..n).collect();
+            let results = std::sync::Mutex::new(vec![None; n]);
+            std::thread::scope(|s| {
+                for r in 0..n {
+                    let mut comm = world.communicator(r);
+                    let g = group.clone();
+                    let results = &results;
+                    s.spawn(move || {
+                        let mut rng = Rng::seed_from(1000 + r as u64);
+                        let v = Tensor::randn(&[len], &mut rng);
+                        let red = comm.allreduce_sum(&g, &v).unwrap();
+                        let gathered = comm
+                            .allgather(&g, aeris::swipe::CommClass::AllGather, red.clone())
+                            .unwrap();
+                        results.lock().unwrap()[r] = Some((red, gathered));
+                    });
+                }
+            });
+            results.into_inner().unwrap()
+        };
+        // Plenty of injected delays (short ones — this runs 8 proptest
+        // cases), aimed at the first messages of random channels.
+        let plan = FaultPlan::chaos_delays(seed, n, 4, 6, 3);
+        let clean = run(World::new(n));
+        let delayed = run(World::with_faults(n, plan));
+        for (c, d) in clean.iter().zip(&delayed) {
+            prop_assert_eq!(c.as_ref().unwrap(), d.as_ref().unwrap());
         }
     }
 }
