@@ -64,7 +64,7 @@ fn main() {
         let mut f = train_aeris(&ds, &scale, seed ^ 0xC0);
         f.sampler.cfg.churn = churn;
         let ens = f.ensemble(ds.state(i0), &forc, 12, scale.members, 5);
-        let members: Vec<&Tensor> = ens.at_step(11);
+        let members: Vec<&Tensor> = ens.at_step(11).expect("step within forecast horizon");
         let spread = aeris_evaluation::spread(&members, &lat_w, t2m);
         println!("  churn {churn:>4.1}: T2m ensemble spread {spread:.3} K");
     }

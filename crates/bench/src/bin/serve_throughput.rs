@@ -1,0 +1,187 @@
+//! Serving-engine throughput: requests/s and latency percentiles as a
+//! function of micro-batch size and cache-hit rate, plus the un-standardize
+//! kernel comparison (scalar indexing vs row-slice sweep) that motivates the
+//! row-major hot loop in `Forecaster::forecast_step`.
+//!
+//! Run: `cargo run --release -p aeris-bench --bin serve_throughput`
+//! (`AERIS_FULL=1` for more requests per configuration).
+
+use aeris_bench::{fmt_row, header, toy_model_config, toy_vars};
+use aeris_core::{AerisModel, Forecaster};
+use aeris_diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+use aeris_earthsim::NormStats;
+use aeris_serve::{ForecastRequest, Forcings, ServeConfig, ServeEngine};
+use aeris_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn forecaster() -> Arc<Forecaster> {
+    // Untrained weights: serving cost is architecture + sampler dependent,
+    // not weight dependent, so skip training and measure the machinery.
+    let cfg = toy_model_config(&toy_vars());
+    let channels = cfg.channels;
+    let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
+    Arc::new(Forecaster {
+        model: AerisModel::new(cfg),
+        res_stats: stats.clone(),
+        stats,
+        sampler: TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 4, churn: 0.1, second_order: false },
+        ),
+    })
+}
+
+struct LoadResult {
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+    hit_rate: f64,
+}
+
+/// Drive `n_requests` through a fresh engine from 4 client threads.
+/// `distinct` controls cache pressure: request `i` uses seed `i % distinct`,
+/// so smaller `distinct` means more repeated rollouts (higher hit rate).
+fn drive(
+    fc: &Arc<Forecaster>,
+    tokens: usize,
+    max_batch: usize,
+    n_requests: usize,
+    distinct: usize,
+) -> LoadResult {
+    let engine = Arc::new(ServeEngine::start(
+        Arc::clone(fc),
+        ServeConfig {
+            workers: 4,
+            queue_capacity: n_requests,
+            max_batch,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    ));
+    let channels = fc.model.cfg.channels;
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in (c..n_requests).step_by(4) {
+                    let seed = (i % distinct) as u64;
+                    let init =
+                        Tensor::randn(&[tokens, channels], &mut Rng::seed_from(seed ^ 0xA15));
+                    let ticket = engine
+                        .submit(ForecastRequest {
+                            init,
+                            forcings: Forcings::Zeros { channels: 3 },
+                            steps: 2,
+                            n_members: 2,
+                            seed,
+                            deadline: None,
+                        })
+                        .expect("admitted");
+                    ticket.wait().expect("served");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("clients done"));
+    let report = engine.shutdown();
+    LoadResult {
+        req_per_s: n_requests as f64 / wall,
+        p50_ms: report.metrics.latency_ms.percentile(50.0).unwrap_or(f64::NAN),
+        p99_ms: report.metrics.latency_ms.percentile(99.0).unwrap_or(f64::NAN),
+        mean_batch: report.metrics.batch_size.mean().unwrap_or(f64::NAN),
+        hit_rate: report.cache.hit_rate(),
+    }
+}
+
+/// The pre-optimization un-standardize inner loop: scalar `at()` indexing
+/// with per-element bounds/offset arithmetic. Kept here as the baseline the
+/// row-slice sweep in `forecast_step` is measured against.
+fn unstandardize_scalar(residual_std: &Tensor, next: &mut Tensor, stats: &NormStats) {
+    let shape = residual_std.shape();
+    for r in 0..shape[0] {
+        for c in 0..shape[1] {
+            let v = residual_std.at(&[r, c]);
+            let cur = next.at(&[r, c]);
+            next.row_mut(r)[c] = cur + v * stats.std[c] + stats.mean[c];
+        }
+    }
+}
+
+/// The shipped row-slice version (mirrors the hot loop in `forecast_step`).
+fn unstandardize_rows(residual_std: &Tensor, next: &mut Tensor, stats: &NormStats) {
+    let rows = residual_std.shape()[0];
+    for r in 0..rows {
+        let row = next.row_mut(r);
+        for (j, (o, &v)) in row.iter_mut().zip(residual_std.row(r)).enumerate() {
+            *o += v * stats.std[j] + stats.mean[j];
+        }
+    }
+}
+
+fn main() {
+    let full = std::env::var("AERIS_FULL").map(|v| v == "1").unwrap_or(false);
+    let n_requests = if full { 96 } else { 32 };
+    let fc = forecaster();
+    let tokens = fc.model.cfg.tokens();
+
+    header("Serving throughput vs micro-batch size");
+    println!("{n_requests} requests x 2 members x 2 steps, 4 workers, 4 clients, all-distinct seeds");
+    println!("{:<16}{:>10}{:>10}{:>10}{:>12}", "max_batch", "req/s", "p50 ms", "p99 ms", "mean batch");
+    for max_batch in [1usize, 2, 4, 8, 16] {
+        let r = drive(&fc, tokens, max_batch, n_requests, n_requests);
+        println!(
+            "{:<16}{:>10.2}{:>10.1}{:>10.1}{:>12.2}",
+            max_batch, r.req_per_s, r.p50_ms, r.p99_ms, r.mean_batch
+        );
+    }
+
+    header("Serving throughput vs cache-hit rate");
+    println!("max_batch 8; `distinct` = number of unique rollouts among {n_requests} requests");
+    println!("{:<16}{:>10}{:>10}{:>10}{:>12}", "distinct", "req/s", "p50 ms", "p99 ms", "hit rate");
+    for distinct in [n_requests, n_requests / 2, n_requests / 8, 1] {
+        let r = drive(&fc, tokens, 8, n_requests, distinct.max(1));
+        println!(
+            "{:<16}{:>10.2}{:>10.1}{:>10.1}{:>11.0}%",
+            distinct.max(1),
+            r.req_per_s,
+            r.p50_ms,
+            r.p99_ms,
+            100.0 * r.hit_rate
+        );
+    }
+
+    header("Un-standardize kernel: scalar at() vs row-slice sweep");
+    let channels = fc.model.cfg.channels;
+    let stats = NormStats { mean: vec![0.1; channels], std: vec![1.3; channels] };
+    let mut rng = Rng::seed_from(7);
+    let residual = Tensor::randn(&[tokens, channels], &mut rng);
+    let base = Tensor::randn(&[tokens, channels], &mut rng);
+    let iters = if full { 20_000 } else { 4_000 };
+    let mut sink = 0.0f32;
+    let mut scratch = base.clone();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        scratch.data_mut().copy_from_slice(base.data());
+        unstandardize_scalar(&residual, &mut scratch, &stats);
+        sink += scratch.at(&[0, 0]);
+    }
+    let scalar_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        scratch.data_mut().copy_from_slice(base.data());
+        unstandardize_rows(&residual, &mut scratch, &stats);
+        sink += scratch.at(&[0, 0]);
+    }
+    let rows_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("{}", fmt_row("scalar at()", &[scalar_us], 12, 2));
+    println!("{}", fmt_row("row slices", &[rows_us], 12, 2));
+    println!("{}", fmt_row("speedup", &[scalar_us / rows_us], 12, 2));
+    assert!(sink.is_finite());
+}

@@ -24,10 +24,54 @@ pub struct Forecaster {
     pub sampler: TrigFlowSampler,
 }
 
+/// One unit of work for [`Forecaster::forecast_step_batch`]: an independent
+/// (state, forcings, RNG) triple to advance by a single forecast step.
+pub struct StepJob<'a> {
+    /// Physical state at the input of the step.
+    pub x_prev: &'a Tensor,
+    /// Forcings valid at the input of the step.
+    pub forcings: &'a Tensor,
+    /// The job's private noise stream (advanced by the step).
+    pub rng: &'a mut Rng,
+}
+
 /// An ensemble of autoregressive rollouts: `members[m][k]` is member `m`'s
 /// state after `k+1` forecast steps, in physical units.
 pub struct EnsembleForecast {
     pub members: Vec<Vec<Tensor>>,
+}
+
+/// Typed corrupt-statistics error for [`Forecaster::load`].
+fn stats_corrupt(detail: String) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt .stats file: {detail}"),
+    )
+}
+
+/// Parse one `NormStats` block (`u32` channel count, then `2n` little-endian
+/// f32 values) from `bytes` starting at `*off`, advancing the offset.
+/// Truncated or absurd inputs surface as [`std::io::ErrorKind::InvalidData`]
+/// instead of a panic.
+fn read_stats(bytes: &[u8], off: &mut usize) -> std::io::Result<NormStats> {
+    let header = bytes
+        .get(*off..*off + 4)
+        .ok_or_else(|| stats_corrupt(format!("truncated header at byte {}", *off)))?;
+    let n = u32::from_le_bytes(header.try_into().unwrap()) as usize;
+    *off += 4;
+    let need = 2 * n * 4;
+    let body = bytes.get(*off..*off + need).ok_or_else(|| {
+        stats_corrupt(format!(
+            "statistics block claims {n} channels ({need} bytes) but only {} remain",
+            bytes.len().saturating_sub(*off)
+        ))
+    })?;
+    *off += need;
+    let mut vals = Vec::with_capacity(2 * n);
+    for chunk in body.chunks_exact(4) {
+        vals.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    Ok(NormStats { mean: vals[..n].to_vec(), std: vals[n..].to_vec() })
 }
 
 impl EnsembleForecast {
@@ -41,18 +85,26 @@ impl EnsembleForecast {
         self.members.first().map_or(0, |m| m.len())
     }
 
-    /// Ensemble mean at step `k`.
-    pub fn mean(&self, k: usize) -> Tensor {
+    /// Ensemble mean at step `k`, or `None` for an empty ensemble or a step
+    /// beyond the rollout horizon.
+    pub fn mean(&self, k: usize) -> Option<Tensor> {
+        if self.members.is_empty() || k >= self.n_steps() {
+            return None;
+        }
         let mut acc = Tensor::zeros(self.members[0][k].shape());
         for m in &self.members {
             acc.add_assign(&m[k]);
         }
-        acc.scale(1.0 / self.members.len() as f32)
+        Some(acc.scale(1.0 / self.members.len() as f32))
     }
 
-    /// All member states at step `k`.
-    pub fn at_step(&self, k: usize) -> Vec<&Tensor> {
-        self.members.iter().map(|m| &m[k]).collect()
+    /// All member states at step `k`, or `None` for an empty ensemble or a
+    /// step beyond the rollout horizon.
+    pub fn at_step(&self, k: usize) -> Option<Vec<&Tensor>> {
+        if self.members.is_empty() || k >= self.n_steps() {
+            return None;
+        }
+        Some(self.members.iter().map(|m| &m[k]).collect())
     }
 }
 
@@ -85,18 +137,14 @@ impl Forecaster {
         aeris_nn::load_params(&mut model.store, path)?;
         let bytes = std::fs::read(path.with_extension("stats"))?;
         let mut off = 0usize;
-        let mut read_stats = || {
-            let n = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-            off += 4;
-            let mut vals = Vec::with_capacity(2 * n);
-            for _ in 0..2 * n {
-                vals.push(f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()));
-                off += 4;
-            }
-            NormStats { mean: vals[..n].to_vec(), std: vals[n..].to_vec() }
-        };
-        let stats = read_stats();
-        let res_stats = read_stats();
+        let stats = read_stats(&bytes, &mut off)?;
+        let res_stats = read_stats(&bytes, &mut off)?;
+        if off != bytes.len() {
+            return Err(stats_corrupt(format!(
+                "{} trailing bytes after statistics",
+                bytes.len() - off
+            )));
+        }
         Ok(Forecaster { model, stats, res_stats, sampler })
     }
 
@@ -108,15 +156,31 @@ impl Forecaster {
         let mut velocity =
             |x_t: &Tensor, t: f32| self.model.velocity(x_t, &prev_std, forcings, t);
         let residual_std = self.sampler.sample(&shape, &mut velocity, rng);
-        // Un-standardize the residual and add to the state.
+        // Un-standardize the residual and add to the state, walking whole rows
+        // (slice iteration instead of per-element multi-index `at()` lookups).
         let mut next = x_prev.clone();
+        let (std, mean) = (&self.res_stats.std, &self.res_stats.mean);
         for r in 0..shape[0] {
             let row = next.row_mut(r);
-            for j in 0..shape[1] {
-                row[j] += residual_std.at(&[r, j]) * self.res_stats.std[j] + self.res_stats.mean[j];
+            for (j, (o, &v)) in row.iter_mut().zip(residual_std.row(r)).enumerate() {
+                *o += v * std[j] + mean[j];
             }
         }
         next
+    }
+
+    /// Batched forecast step: advance several independent states by one step
+    /// each. Every job carries its own RNG, so the result of a job is a pure
+    /// function of that job alone — batching order and batch composition can
+    /// never change the numbers, which is what lets the serving engine
+    /// coalesce requests freely while staying bitwise deterministic.
+    pub fn forecast_step_batch(&self, jobs: &mut [StepJob<'_>]) -> Vec<Tensor> {
+        let outs: Vec<Tensor> = jobs
+            .iter_mut()
+            .into_par_iter()
+            .map(|job| self.forecast_step(job.x_prev, job.forcings, job.rng))
+            .collect();
+        outs
     }
 
     /// Autoregressive rollout for `steps` steps. `forcings(k)` returns the
@@ -222,6 +286,107 @@ mod tests {
         let ens2 = f.ensemble(&x0, &forc, 2, 3, 99);
         assert_eq!(ens.members[2][1], ens2.members[2][1]);
         // Mean has the right shape.
-        assert_eq!(ens.mean(1).shape(), &[128, 4]);
+        assert_eq!(ens.mean(1).expect("step in range").shape(), &[128, 4]);
+    }
+
+    #[test]
+    fn empty_or_out_of_range_accessors_return_none() {
+        let empty = EnsembleForecast { members: vec![] };
+        assert!(empty.mean(0).is_none());
+        assert!(empty.at_step(0).is_none());
+        let f = tiny_forecaster();
+        let mut rng = Rng::seed_from(4);
+        let x0 = Tensor::randn(&[128, 4], &mut rng);
+        let forc = |_k: usize| Tensor::zeros(&[128, 3]);
+        let ens = f.ensemble(&x0, &forc, 2, 2, 5);
+        assert!(ens.mean(1).is_some());
+        assert!(ens.mean(2).is_none(), "step beyond horizon must be None");
+        assert!(ens.at_step(2).is_none());
+    }
+
+    #[test]
+    fn batched_step_matches_sequential_bitwise() {
+        let f = tiny_forecaster();
+        let mut rng = Rng::seed_from(6);
+        let states: Vec<Tensor> =
+            (0..3).map(|_| Tensor::randn(&[128, 4], &mut rng)).collect();
+        let forc = Tensor::zeros(&[128, 3]);
+        // Sequential reference, one private RNG stream per job.
+        let root = Rng::seed_from(77);
+        let expect: Vec<Tensor> = states
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f.forecast_step(x, &forc, &mut root.stream(i as u64)))
+            .collect();
+        // Batched evaluation with identically-seeded streams.
+        let mut rngs: Vec<Rng> = (0..3).map(|i| root.stream(i as u64)).collect();
+        let mut jobs: Vec<StepJob> = states
+            .iter()
+            .zip(&mut rngs)
+            .map(|(x, rng)| StepJob { x_prev: x, forcings: &forc, rng })
+            .collect();
+        let got = f.forecast_step_batch(&mut jobs);
+        assert_eq!(expect, got, "batching must not change the numbers");
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bitwise() {
+        let f = tiny_forecaster();
+        let dir = std::env::temp_dir().join(format!("aeris_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fc.params");
+        f.save(&path).unwrap();
+        let g = Forecaster::load(AerisConfig::test_tiny(), f.sampler, &path).unwrap();
+        assert_eq!(f.stats.mean, g.stats.mean);
+        assert_eq!(f.stats.std, g.stats.std);
+        assert_eq!(f.res_stats.mean, g.res_stats.mean);
+        assert_eq!(f.res_stats.std, g.res_stats.std);
+        // Identical forecasts, bit for bit, before and after the round trip.
+        let mut rng = Rng::seed_from(9);
+        let x0 = Tensor::randn(&[128, 4], &mut rng);
+        let forc = |_k: usize| Tensor::zeros(&[128, 3]);
+        let a = f.ensemble(&x0, &forc, 2, 2, 41);
+        let b = g.ensemble(&x0, &forc, 2, 2, 41);
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            for (sa, sb) in ma.iter().zip(mb) {
+                assert_eq!(sa, sb, "round-tripped forecaster diverged");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_stats_files() {
+        let f = tiny_forecaster();
+        let dir = std::env::temp_dir().join(format!("aeris_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fc.params");
+        f.save(&path).unwrap();
+        let stats_path = path.with_extension("stats");
+        let good = std::fs::read(&stats_path).unwrap();
+
+        // Truncated mid-block: a proper error, not a panic.
+        std::fs::write(&stats_path, &good[..good.len() / 2]).unwrap();
+        let err = Forecaster::load(AerisConfig::test_tiny(), f.sampler, &path)
+            .err().expect("truncated stats must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Absurd channel count in the header.
+        let mut huge = good.clone();
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&stats_path, &huge).unwrap();
+        let err = Forecaster::load(AerisConfig::test_tiny(), f.sampler, &path)
+            .err().expect("absurd header must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Trailing garbage after both blocks.
+        let mut long = good.clone();
+        long.extend_from_slice(&[0u8; 3]);
+        std::fs::write(&stats_path, &long).unwrap();
+        let err = Forecaster::load(AerisConfig::test_tiny(), f.sampler, &path)
+            .err().expect("trailing bytes must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,220 @@
+//! The typed request/response surface of the serving engine.
+//!
+//! A [`ForecastRequest`] names everything that determines an ensemble
+//! forecast — initial state, forcings, horizon, member count, seed — plus an
+//! optional latency deadline. Results come back as a [`ForecastResponse`];
+//! every failure mode is a typed [`ServeError`] (mirroring the
+//! `CommError` taxonomy of the SWiPe runtime: no panics, no hangs).
+
+use aeris_core::EnsembleForecast;
+use aeris_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a request specifies the forcing tensor for each rollout step.
+#[derive(Clone)]
+pub enum Forcings {
+    /// Zero forcings (`[tokens, channels]` of zeros at every step) — the
+    /// idiom the repo's tests use for untrained/toy models.
+    Zeros { channels: usize },
+    /// An explicit per-step table: `table[k]` is the forcing tensor valid at
+    /// the *input* of step `k`. Must cover at least `steps` entries. The
+    /// table is shared (`Arc`) so many requests over the same forecast cycle
+    /// don't duplicate it.
+    Table(Arc<Vec<Tensor>>),
+}
+
+impl Forcings {
+    /// The forcing tensor at the input of step `k`.
+    pub fn at(&self, tokens: usize, k: usize) -> Tensor {
+        match self {
+            Forcings::Zeros { channels } => Tensor::zeros(&[tokens, *channels]),
+            Forcings::Table(t) => t[k].clone(),
+        }
+    }
+
+    /// Number of forcing channels this spec produces.
+    pub fn channels(&self) -> Option<usize> {
+        match self {
+            Forcings::Zeros { channels } => Some(*channels),
+            Forcings::Table(t) => t.first().map(|f| f.shape()[1]),
+        }
+    }
+
+    /// Whether the spec covers a rollout of `steps` steps.
+    pub fn covers(&self, steps: usize) -> bool {
+        match self {
+            Forcings::Zeros { .. } => true,
+            Forcings::Table(t) => t.len() >= steps,
+        }
+    }
+
+    /// Content key for the rollout cache: equal keys ⇒ identical forcing
+    /// streams. Zeros and tables hash their full content, so two requests
+    /// with the same numbers share cache entries even when built separately.
+    pub fn content_key(&self) -> u64 {
+        match self {
+            Forcings::Zeros { channels } => {
+                let mut h = fnv_init();
+                fnv_u64(&mut h, 0x5A5A_0001);
+                fnv_u64(&mut h, *channels as u64);
+                h
+            }
+            Forcings::Table(t) => {
+                let mut h = fnv_init();
+                fnv_u64(&mut h, 0x5A5A_0002);
+                for f in t.iter() {
+                    fnv_u64(&mut h, crate::cache::content_hash(f));
+                }
+                h
+            }
+        }
+    }
+}
+
+/// A forecast request: one client asking for an ensemble rollout.
+#[derive(Clone)]
+pub struct ForecastRequest {
+    /// Initial physical state, `[tokens, channels]`.
+    pub init: Tensor,
+    /// Forcing stream for the rollout.
+    pub forcings: Forcings,
+    /// Rollout horizon in forecast steps (must be ≥ 1).
+    pub steps: usize,
+    /// Ensemble members (must be ≥ 1). Member `m` uses the deterministic
+    /// seed stream `seed ⊕ m`, exactly like [`Forecaster::ensemble`].
+    ///
+    /// [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
+    pub n_members: usize,
+    /// Base seed for the ensemble's noise streams.
+    pub seed: u64,
+    /// Optional latency budget measured from submission. Work for a request
+    /// that is dequeued after its deadline is shed and the request fails
+    /// with [`ServeError::DeadlineExceeded`]. Requests answered entirely
+    /// from cache never expire (they cost no model evaluations).
+    pub deadline: Option<Duration>,
+}
+
+/// The served ensemble plus per-request accounting.
+pub struct ForecastResponse {
+    /// Engine-assigned request id (also tagged on the engine's event log).
+    pub id: u64,
+    /// The forecast: `members[m][k]` is member `m` after `k+1` steps,
+    /// bitwise identical to a direct [`Forecaster::ensemble`] call with the
+    /// same inputs.
+    ///
+    /// [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
+    pub forecast: EnsembleForecast,
+    /// Member-steps reused from the rollout cache.
+    pub cache_hits: usize,
+    /// Member-steps actually evaluated by the model for this request.
+    pub computed_steps: usize,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// Typed serving failure. Every submitted request either completes or
+/// resolves to exactly one of these — the engine never loses a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request: the engine already holds its
+    /// configured maximum of outstanding requests.
+    QueueFull { capacity: usize },
+    /// The request was dequeued after its latency deadline; its remaining
+    /// work was shed.
+    DeadlineExceeded { req: u64 },
+    /// The engine is draining or stopped and no longer accepts requests.
+    Shutdown,
+    /// The request is malformed for the engine's model (shape mismatch,
+    /// zero members/steps, forcing table too short, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full: {capacity} requests already outstanding")
+            }
+            ServeError::DeadlineExceeded { req } => {
+                write!(f, "request {req}: deadline exceeded, work shed")
+            }
+            ServeError::Shutdown => write!(f, "engine is shut down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Engine sizing and policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads evaluating batched forecast steps.
+    pub workers: usize,
+    /// Admission-control bound on outstanding (admitted, unfinished)
+    /// requests; submissions beyond it fail fast with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Micro-batcher: largest number of member-steps fused into one batched
+    /// model evaluation.
+    pub max_batch: usize,
+    /// Micro-batcher: how long a worker holding a non-full batch waits for
+    /// more compatible work before running what it has.
+    pub max_wait: Duration,
+    /// Rollout-cache byte budget (0 disables caching).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn fnv_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+#[inline]
+pub(crate) fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forcings_cover_and_key() {
+        let z = Forcings::Zeros { channels: 3 };
+        assert!(z.covers(1000));
+        assert_eq!(z.at(4, 0).shape(), &[4, 3]);
+        let t = Forcings::Table(Arc::new(vec![Tensor::ones(&[4, 3]); 2]));
+        assert!(t.covers(2) && !t.covers(3));
+        // Content-addressed: same numbers, same key; different numbers differ.
+        let t2 = Forcings::Table(Arc::new(vec![Tensor::ones(&[4, 3]); 2]));
+        assert_eq!(t.content_key(), t2.content_key());
+        assert_ne!(t.content_key(), z.content_key());
+        let t3 = Forcings::Table(Arc::new(vec![Tensor::zeros(&[4, 3]); 2]));
+        assert_ne!(t.content_key(), t3.content_key());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ServeError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("4"));
+        assert!(ServeError::DeadlineExceeded { req: 9 }.to_string().contains("9"));
+        assert!(ServeError::BadRequest("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The dynamic micro-batcher: a shared pool of pending member-step tasks
+//! from which workers form shape-compatible batches.
+//!
+//! Scheduling policy (max-batch / max-wait): a worker pops the oldest
+//! pending task; if the batch is not yet full and no further work is
+//! pending, it waits up to `max_wait` for more to arrive, then sweeps the
+//! pool for up to `max_batch − 1` additional tasks whose states share the
+//! first task's shape (only same-shaped states can ride one batched model
+//! evaluation). The policy shapes *latency and batch size only* — every
+//! task carries its own RNG, so which batch a task lands in can never
+//! change its numbers.
+
+use crate::engine::MemberTask;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    tasks: VecDeque<MemberTask>,
+    /// While true, an empty pool blocks `next_batch`; once closed, an empty
+    /// pool means the workers should exit. Tasks pushed after close (e.g.
+    /// requeued mid-rollout members) are still drained.
+    open: bool,
+}
+
+/// Thread-shared pending-work pool.
+pub(crate) struct TaskQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl TaskQueue {
+    pub fn new() -> Self {
+        TaskQueue {
+            inner: Mutex::new(Inner { tasks: VecDeque::new(), open: true }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one task (a requeued in-flight member).
+    pub fn push(&self, task: MemberTask) {
+        self.inner.lock().tasks.push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Enqueue several tasks atomically: a freshly admitted request's
+    /// members land as one contiguous run, so an idle worker's next sweep
+    /// can batch them together.
+    pub fn push_many(&self, tasks: impl IntoIterator<Item = MemberTask>) {
+        let mut inner = self.inner.lock();
+        inner.tasks.extend(tasks);
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Number of pending member-step tasks.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().tasks.len()
+    }
+
+    /// Stop blocking on empty: workers drain what remains, then exit.
+    pub fn close(&self) {
+        self.inner.lock().open = false;
+        self.available.notify_all();
+    }
+
+    /// Block for work and form a shape-compatible batch of at most
+    /// `max_batch` tasks. Returns `None` when the pool is closed and empty
+    /// (worker exit signal).
+    pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<MemberTask>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock();
+        loop {
+            if !inner.tasks.is_empty() {
+                break;
+            }
+            if !inner.open {
+                return None;
+            }
+            self.available.wait(&mut inner);
+        }
+        let first = inner.tasks.pop_front().expect("pool nonempty");
+        let shape = first.x.shape().to_vec();
+        let mut batch = vec![first];
+        // Give concurrent submitters a bounded chance to coalesce.
+        if batch.len() < max_batch && inner.tasks.is_empty() && inner.open && !max_wait.is_zero()
+        {
+            let _ = self.available.wait_for(&mut inner, max_wait);
+        }
+        let mut i = 0;
+        while i < inner.tasks.len() && batch.len() < max_batch {
+            if inner.tasks[i].x.shape() == shape.as_slice() {
+                batch.push(inner.tasks.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ForecastRequest, Forcings, ServeConfig};
+    use crate::engine::test_support::member_task;
+    use aeris_tensor::Tensor;
+
+    fn req(rows: usize) -> ForecastRequest {
+        ForecastRequest {
+            init: Tensor::zeros(&[rows, 2]),
+            forcings: Forcings::Zeros { channels: 1 },
+            steps: 3,
+            n_members: 1,
+            seed: 0,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn batches_group_by_shape_in_fifo_order() {
+        let q = TaskQueue::new();
+        q.push_many([
+            member_task(&req(4), 0),
+            member_task(&req(8), 1),
+            member_task(&req(4), 2),
+            member_task(&req(4), 3),
+        ]);
+        let cfg = ServeConfig::default();
+        let b1 = q.next_batch(cfg.max_batch, Duration::ZERO).expect("work pending");
+        assert_eq!(b1.len(), 3, "all same-shape tasks coalesce");
+        assert!(b1.iter().all(|t| t.x.shape() == [4, 2]));
+        let b2 = q.next_batch(cfg.max_batch, Duration::ZERO).expect("work pending");
+        assert_eq!(b2.len(), 1);
+        assert_eq!(b2[0].x.shape(), &[8, 2]);
+    }
+
+    #[test]
+    fn max_batch_bounds_the_sweep() {
+        let q = TaskQueue::new();
+        q.push_many((0..5).map(|i| member_task(&req(4), i)));
+        let b = q.next_batch(2, Duration::ZERO).expect("work pending");
+        assert_eq!(b.len(), 2);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = TaskQueue::new();
+        q.push(member_task(&req(4), 0));
+        q.close();
+        assert!(q.next_batch(4, Duration::ZERO).is_some(), "pending work still served");
+        assert!(q.next_batch(4, Duration::ZERO).is_none(), "closed + empty = exit");
+    }
+}

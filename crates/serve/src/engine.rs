@@ -1,0 +1,730 @@
+//! The serving engine: admission control, worker pool, request lifecycle,
+//! and the ops surface.
+//!
+//! ## Lifecycle of a request
+//!
+//! 1. **Admission** ([`ServeEngine::submit`]): the request is validated
+//!    against the engine's model config, then admitted iff fewer than
+//!    `queue_capacity` requests are outstanding (else
+//!    [`ServeError::QueueFull`] — fail fast, never queue unboundedly).
+//! 2. **Prefix reuse**: each ensemble member consults the rollout cache for
+//!    the longest contiguous prefix of its trajectory (state + RNG snapshot
+//!    per step). Fully-cached members complete at admission without touching
+//!    the worker pool.
+//! 3. **Batched stepping**: remaining members become member-step tasks in
+//!    the micro-batcher's pool; workers coalesce shape-compatible tasks —
+//!    across requests and tenants — into one [`forecast_step_batch`]
+//!    evaluation per round, then requeue or finish each member.
+//! 4. **Completion**: the last finishing member resolves the client's
+//!    [`Ticket`]; per-request latency and cache accounting ride along.
+//!
+//! ## Determinism
+//!
+//! Member `m` of a request draws from the private stream
+//! `Rng::seed_from(seed).stream(m+1)` — the same discipline as
+//! [`Forecaster::ensemble`] — and a batched step evaluates each task with
+//! its own RNG. Served responses are therefore bitwise identical to a
+//! direct `ensemble` call and invariant under worker count, batch
+//! composition, scheduling order, and cache hits.
+//!
+//! [`forecast_step_batch`]: aeris_core::Forecaster::forecast_step_batch
+//! [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
+
+use crate::api::{ForecastRequest, ForecastResponse, Forcings, ServeConfig, ServeError};
+use crate::batcher::TaskQueue;
+use crate::cache::{content_hash, CacheKey, CacheStats, RolloutCache};
+use aeris_core::{EnsembleForecast, Forecaster, StepJob};
+use aeris_swipe::{EventLog, EventRecord, MetricSeries};
+use aeris_tensor::{Rng, Tensor};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Actor id used for events recorded on the submitting client's thread
+/// (workers use their pool index).
+pub const CLIENT_ACTOR: usize = usize::MAX;
+
+/// One serving-related occurrence, recorded through the reusable
+/// [`EventLog`] shared with the SWiPe runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A request passed validation and admission control.
+    Admitted { req: u64, members: usize, steps: usize },
+    /// Admission control refused a request (queue at capacity).
+    RejectedQueueFull { capacity: usize },
+    /// A request arrived after shutdown began.
+    RejectedShutdown,
+    /// One batched model evaluation: `size` member-steps spanning
+    /// `requests` distinct requests.
+    BatchExecuted { size: usize, requests: usize },
+    /// A member reused a cached rollout prefix of `steps` steps.
+    PrefixReused { req: u64, member: usize, steps: usize },
+    /// A request was dequeued past its deadline; its work was shed.
+    DeadlineExceeded { req: u64 },
+    /// A request completed successfully.
+    Completed { req: u64, latency_ms: u64, cache_hits: usize, computed_steps: usize },
+    /// The engine drained and stopped after serving `completed` requests.
+    Drained { completed: u64 },
+}
+
+/// The engine's operational metric series (shared handles; cloning is cheap).
+#[derive(Clone, Default)]
+pub struct ServeMetrics {
+    /// Per-request submission-to-completion latency, milliseconds.
+    pub latency_ms: MetricSeries,
+    /// Member-steps per executed batch.
+    pub batch_size: MetricSeries,
+    /// Pending member-steps observed by workers after forming each batch.
+    pub queue_depth: MetricSeries,
+}
+
+/// Terminal-state marker plus per-request result assembly.
+struct DoneState {
+    /// `members[m]` is member `m`'s trajectory once finished.
+    members: Vec<Option<Vec<Arc<Tensor>>>>,
+    /// Members still in flight.
+    remaining: usize,
+    /// Member-steps served from cache.
+    cache_hits: usize,
+    /// Member-steps evaluated by the model.
+    computed_steps: usize,
+    /// Submission-to-terminal latency (set at completion/failure).
+    latency: Duration,
+    /// Terminal result; `None` while in flight. Set exactly once.
+    result: Option<Result<(), ServeError>>,
+}
+
+/// Shared per-request state: identity, cache addressing, and the slot the
+/// client's [`Ticket`] blocks on.
+pub(crate) struct RequestState {
+    pub id: u64,
+    pub init: Arc<Tensor>,
+    pub init_hash: u64,
+    pub forcings: Forcings,
+    pub forcings_key: u64,
+    pub steps: usize,
+    pub n_members: usize,
+    pub seed: u64,
+    pub submitted: Instant,
+    pub deadline: Option<Instant>,
+    done: Mutex<DoneState>,
+    done_cv: Condvar,
+}
+
+impl RequestState {
+    fn new(id: u64, req: &ForecastRequest) -> Self {
+        let submitted = Instant::now();
+        RequestState {
+            id,
+            init_hash: content_hash(&req.init),
+            init: Arc::new(req.init.clone()),
+            forcings_key: req.forcings.content_key(),
+            forcings: req.forcings.clone(),
+            steps: req.steps,
+            n_members: req.n_members,
+            seed: req.seed,
+            submitted,
+            deadline: req.deadline.map(|d| submitted + d),
+            done: Mutex::new(DoneState {
+                members: vec![None; req.n_members],
+                remaining: req.n_members,
+                cache_hits: 0,
+                computed_steps: 0,
+                latency: Duration::ZERO,
+                result: None,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Whether the request already resolved (completed or failed).
+    fn terminal(&self) -> bool {
+        self.done.lock().result.is_some()
+    }
+}
+
+/// One in-flight ensemble member: the unit the micro-batcher schedules.
+pub(crate) struct MemberTask {
+    pub req: Arc<RequestState>,
+    pub member: usize,
+    /// Steps completed so far (`x` is the state after `next_step` steps).
+    pub next_step: usize,
+    pub x: Arc<Tensor>,
+    pub rng: Rng,
+    /// Trajectory states `1..=next_step`.
+    pub states: Vec<Arc<Tensor>>,
+    /// Steps of this member served from cache.
+    pub cache_hits: usize,
+}
+
+/// A claim on a submitted request; [`Ticket::wait`] blocks for the result.
+pub struct Ticket {
+    req: Arc<RequestState>,
+}
+
+impl Ticket {
+    /// The engine-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.req.id
+    }
+
+    /// Block until the request resolves, then assemble the response.
+    pub fn wait(&self) -> Result<ForecastResponse, ServeError> {
+        let mut done = self.req.done.lock();
+        while done.result.is_none() {
+            self.req.done_cv.wait(&mut done);
+        }
+        match done.result.clone().expect("loop exits only on terminal state") {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let members: Vec<Vec<Tensor>> = done
+                    .members
+                    .iter()
+                    .map(|m| {
+                        m.as_ref()
+                            .expect("all members present on success")
+                            .iter()
+                            .map(|s| (**s).clone())
+                            .collect()
+                    })
+                    .collect();
+                Ok(ForecastResponse {
+                    id: self.req.id,
+                    forecast: EnsembleForecast { members },
+                    cache_hits: done.cache_hits,
+                    computed_steps: done.computed_steps,
+                    latency: done.latency,
+                })
+            }
+        }
+    }
+}
+
+/// Everything the workers and the submitting threads share.
+struct EngineShared {
+    forecaster: Arc<Forecaster>,
+    cfg: ServeConfig,
+    queue: TaskQueue,
+    cache: RolloutCache,
+    events: EventLog<ServeEvent>,
+    metrics: ServeMetrics,
+    accepting: AtomicBool,
+    outstanding: Mutex<usize>,
+    drained: Condvar,
+    next_id: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl EngineShared {
+    fn release_outstanding(&self) {
+        let mut g = self.outstanding.lock();
+        *g -= 1;
+        if *g == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Resolve a request as failed (first terminal transition wins).
+    fn fail_request(&self, req: &Arc<RequestState>, err: ServeError, actor: usize) {
+        {
+            let mut done = req.done.lock();
+            if done.result.is_some() {
+                return;
+            }
+            done.latency = req.submitted.elapsed();
+            done.result = Some(Err(err.clone()));
+            req.done_cv.notify_all();
+        }
+        if let ServeError::DeadlineExceeded { req: id } = err {
+            self.events.record(actor, ServeEvent::DeadlineExceeded { req: id });
+        }
+        self.release_outstanding();
+    }
+
+    /// Deliver a finished member; the last one completes the request.
+    fn finish_member(&self, task: MemberTask, actor: usize) {
+        let req = task.req;
+        let computed = req.steps - task.cache_hits;
+        let finished = {
+            let mut done = req.done.lock();
+            if done.result.is_some() {
+                return; // request already failed; drop the member quietly
+            }
+            done.members[task.member] = Some(task.states);
+            done.remaining -= 1;
+            done.cache_hits += task.cache_hits;
+            done.computed_steps += computed;
+            if done.remaining == 0 {
+                done.latency = req.submitted.elapsed();
+                done.result = Some(Ok(()));
+                req.done_cv.notify_all();
+                Some((done.latency, done.cache_hits, done.computed_steps))
+            } else {
+                None
+            }
+        };
+        if let Some((latency, cache_hits, computed_steps)) = finished {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.latency_ms.record(latency.as_secs_f64() * 1e3);
+            self.events.record(
+                actor,
+                ServeEvent::Completed {
+                    req: req.id,
+                    latency_ms: latency.as_millis() as u64,
+                    cache_hits,
+                    computed_steps,
+                },
+            );
+            self.release_outstanding();
+        }
+    }
+
+    fn cache_key(&self, req: &RequestState, member: usize, step: usize) -> CacheKey {
+        CacheKey {
+            init: req.init_hash,
+            forcings: req.forcings_key,
+            seed: req.seed,
+            member: member as u64,
+            step: step as u32,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
+    let fc = Arc::clone(&shared.forecaster);
+    let tokens = fc.model.cfg.tokens();
+    while let Some(batch) = shared.queue.next_batch(shared.cfg.max_batch, shared.cfg.max_wait) {
+        shared.metrics.queue_depth.record(shared.queue.depth() as f64);
+        // Shed tasks of already-resolved requests and expire deadlines.
+        let now = Instant::now();
+        let mut live: Vec<MemberTask> = Vec::with_capacity(batch.len());
+        for task in batch {
+            if task.req.terminal() {
+                continue;
+            }
+            if task.req.deadline.is_some_and(|dl| now >= dl) {
+                let id = task.req.id;
+                shared.fail_request(&task.req, ServeError::DeadlineExceeded { req: id }, worker);
+                continue;
+            }
+            live.push(task);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        shared.metrics.batch_size.record(live.len() as f64);
+        let mut req_ids: Vec<u64> = live.iter().map(|t| t.req.id).collect();
+        req_ids.sort_unstable();
+        req_ids.dedup();
+        shared
+            .events
+            .record(worker, ServeEvent::BatchExecuted { size: live.len(), requests: req_ids.len() });
+
+        // One batched model evaluation for the whole (shape-compatible)
+        // batch; every job advances on its own private RNG.
+        let forcings: Vec<Tensor> =
+            live.iter().map(|t| t.req.forcings.at(tokens, t.next_step)).collect();
+        let outs = {
+            let mut jobs: Vec<StepJob<'_>> = live
+                .iter_mut()
+                .zip(&forcings)
+                .map(|(t, f)| StepJob { x_prev: t.x.as_ref(), forcings: f, rng: &mut t.rng })
+                .collect();
+            fc.forecast_step_batch(&mut jobs)
+        };
+        for (mut task, next) in live.into_iter().zip(outs) {
+            let next = Arc::new(next);
+            task.next_step += 1;
+            shared.cache.insert(
+                shared.cache_key(&task.req, task.member, task.next_step),
+                Arc::clone(&next),
+                task.rng.snapshot(),
+            );
+            task.states.push(Arc::clone(&next));
+            task.x = next;
+            if task.next_step == task.req.steps {
+                shared.finish_member(task, worker);
+            } else {
+                shared.queue.push(task);
+            }
+        }
+    }
+}
+
+/// Post-shutdown report: everything the engine observed while serving.
+pub struct ServeReport {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// The full serving event log.
+    pub events: Vec<EventRecord<ServeEvent>>,
+    /// Latency / batch-size / queue-depth series.
+    pub metrics: ServeMetrics,
+    /// Final rollout-cache accounting.
+    pub cache: CacheStats,
+}
+
+/// The batched, multi-tenant forecast serving engine.
+pub struct ServeEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spin up the worker pool around a shared forecaster.
+    pub fn start(forecaster: Arc<Forecaster>, cfg: ServeConfig) -> ServeEngine {
+        let shared = Arc::new(EngineShared {
+            forecaster,
+            cfg,
+            queue: TaskQueue::new(),
+            cache: RolloutCache::new(cfg.cache_bytes),
+            events: EventLog::new(),
+            metrics: ServeMetrics::default(),
+            accepting: AtomicBool::new(true),
+            outstanding: Mutex::new(0),
+            drained: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aeris-serve-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeEngine { shared, workers }
+    }
+
+    /// Validate, admit, and enqueue a request. Returns a [`Ticket`] the
+    /// client blocks on; every admission failure is a typed error.
+    pub fn submit(&self, request: ForecastRequest) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::Acquire) {
+            shared.events.record(CLIENT_ACTOR, ServeEvent::RejectedShutdown);
+            return Err(ServeError::Shutdown);
+        }
+        self.validate(&request)?;
+        // Admission control: bounded outstanding requests, fail-fast.
+        {
+            let mut g = shared.outstanding.lock();
+            if *g >= shared.cfg.queue_capacity {
+                shared.events.record(
+                    CLIENT_ACTOR,
+                    ServeEvent::RejectedQueueFull { capacity: shared.cfg.queue_capacity },
+                );
+                return Err(ServeError::QueueFull { capacity: shared.cfg.queue_capacity });
+            }
+            *g += 1;
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Arc::new(RequestState::new(id, &request));
+        shared.events.record(
+            CLIENT_ACTOR,
+            ServeEvent::Admitted { req: id, members: request.n_members, steps: request.steps },
+        );
+
+        // Per member: reuse the longest contiguous cached prefix, then
+        // enqueue the remainder (fully-cached members finish right here).
+        let mut tasks = Vec::new();
+        for m in 0..req.n_members {
+            let mut task = MemberTask {
+                req: Arc::clone(&req),
+                member: m,
+                next_step: 0,
+                x: Arc::clone(&req.init),
+                rng: Rng::seed_from(req.seed).stream(m as u64 + 1),
+                states: Vec::with_capacity(req.steps),
+                cache_hits: 0,
+            };
+            while task.next_step < req.steps {
+                let key = shared.cache_key(&req, m, task.next_step + 1);
+                match shared.cache.get(&key) {
+                    Some(hit) => {
+                        task.rng = Rng::restore(hit.rng);
+                        task.x = Arc::clone(&hit.state);
+                        task.states.push(hit.state);
+                        task.next_step += 1;
+                        task.cache_hits += 1;
+                    }
+                    None => break,
+                }
+            }
+            if task.cache_hits > 0 {
+                shared.events.record(
+                    CLIENT_ACTOR,
+                    ServeEvent::PrefixReused { req: id, member: m, steps: task.cache_hits },
+                );
+            }
+            if task.next_step == req.steps {
+                shared.finish_member(task, CLIENT_ACTOR);
+            } else {
+                tasks.push(task);
+            }
+        }
+        shared.queue.push_many(tasks);
+        Ok(Ticket { req })
+    }
+
+    fn validate(&self, r: &ForecastRequest) -> Result<(), ServeError> {
+        let cfg = &self.shared.forecaster.model.cfg;
+        if r.steps == 0 || r.n_members == 0 {
+            return Err(ServeError::BadRequest("steps and n_members must be ≥ 1".into()));
+        }
+        let want = [cfg.tokens(), cfg.channels];
+        if r.init.shape() != want {
+            return Err(ServeError::BadRequest(format!(
+                "init shape {:?} != model state shape {want:?}",
+                r.init.shape()
+            )));
+        }
+        if !r.forcings.covers(r.steps) {
+            return Err(ServeError::BadRequest(format!(
+                "forcing table does not cover {} steps",
+                r.steps
+            )));
+        }
+        if let Forcings::Table(t) = &r.forcings {
+            let want = [cfg.tokens(), cfg.forcing_channels];
+            if let Some(bad) = t.iter().take(r.steps).find(|f| f.shape() != want) {
+                return Err(ServeError::BadRequest(format!(
+                    "forcing tensor shape {:?} != {want:?}",
+                    bad.shape()
+                )));
+            }
+        } else if r.forcings.channels() != Some(cfg.forcing_channels) {
+            return Err(ServeError::BadRequest(format!(
+                "forcing channels {:?} != model forcing_channels {}",
+                r.forcings.channels(),
+                cfg.forcing_channels
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stop admitting new requests (they fail with [`ServeError::Shutdown`]);
+    /// already-admitted work keeps running.
+    pub fn stop_accepting(&self) {
+        self.shared.accepting.store(false, Ordering::Release);
+    }
+
+    /// Block until every admitted request has resolved.
+    pub fn drain(&self) {
+        let mut g = self.shared.outstanding.lock();
+        while *g > 0 {
+            self.shared.drained.wait(&mut g);
+        }
+    }
+
+    /// Graceful shutdown: stop admissions, drain all in-flight requests,
+    /// stop the workers, and return the final ops report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop_accepting();
+        self.drain();
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().expect("serve worker panicked");
+        }
+        let completed = self.shared.completed.load(Ordering::Relaxed);
+        self.shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
+        ServeReport {
+            completed,
+            events: self.shared.events.snapshot(),
+            metrics: self.shared.metrics.clone(),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// The serving event log (shared handle).
+    pub fn events(&self) -> &EventLog<ServeEvent> {
+        &self.shared.events
+    }
+
+    /// The operational metric series (shared handles).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Rollout-cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Pending member-step tasks in the micro-batcher's pool.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Requests served to completion so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ServeEngine {
+    /// Dropping without [`ServeEngine::shutdown`] still finishes admitted
+    /// work (workers drain the pool before exiting), so no ticket is ever
+    /// left hanging.
+    fn drop(&mut self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Build a detached member task for batcher unit tests.
+    pub(crate) fn member_task(req: &ForecastRequest, id: u64) -> MemberTask {
+        let state = Arc::new(RequestState::new(id, req));
+        MemberTask {
+            member: 0,
+            next_step: 0,
+            x: Arc::clone(&state.init),
+            rng: Rng::seed_from(req.seed).stream(1),
+            states: Vec::new(),
+            cache_hits: 0,
+            req: state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeris_core::AerisConfig;
+    use aeris_diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+    use aeris_earthsim::NormStats;
+
+    fn tiny_forecaster() -> Arc<Forecaster> {
+        let cfg = AerisConfig::test_tiny();
+        let channels = cfg.channels;
+        let model = aeris_core::AerisModel::new(cfg);
+        let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
+        Arc::new(Forecaster {
+            model,
+            res_stats: stats.clone(),
+            stats,
+            sampler: TrigFlowSampler::new(
+                TrigFlow::default(),
+                SamplerConfig { n_steps: 2, churn: 0.1, second_order: false },
+            ),
+        })
+    }
+
+    fn request(seed: u64, steps: usize, n_members: usize) -> ForecastRequest {
+        let mut rng = Rng::seed_from(seed ^ 0xDECAF);
+        ForecastRequest {
+            init: Tensor::randn(&[128, 4], &mut rng),
+            forcings: Forcings::Zeros { channels: 3 },
+            steps,
+            n_members,
+            seed,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn served_forecast_matches_direct_ensemble_bitwise() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(Arc::clone(&fc), ServeConfig::default());
+        let req = request(40, 3, 2);
+        let direct = fc.ensemble(&req.init, &|_k| Tensor::zeros(&[128, 3]), 3, 2, 40);
+        let resp = engine.submit(req).expect("admitted").wait().expect("served");
+        assert_eq!(resp.forecast.members, direct.members, "served ≠ direct ensemble");
+        assert_eq!(resp.computed_steps, 6);
+        assert_eq!(resp.cache_hits, 0);
+    }
+
+    #[test]
+    fn identical_requests_reuse_the_cache_bitwise() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(fc, ServeConfig::default());
+        let first = engine.submit(request(41, 4, 2)).expect("admitted").wait().expect("served");
+        // Bitwise-equal replay, zero model evaluations.
+        let second = engine.submit(request(41, 4, 2)).expect("admitted").wait().expect("served");
+        assert_eq!(second.forecast.members, first.forecast.members);
+        assert_eq!(second.cache_hits, 8, "full prefix reuse");
+        assert_eq!(second.computed_steps, 0);
+        // An extended horizon reuses the prefix and computes only the tail.
+        let longer = engine.submit(request(41, 6, 2)).expect("admitted").wait().expect("served");
+        assert_eq!(longer.cache_hits, 8);
+        assert_eq!(longer.computed_steps, 4);
+        for (m, member) in first.forecast.members.iter().enumerate() {
+            assert_eq!(&longer.forecast.members[m][..4], &member[..], "prefix diverged");
+        }
+        assert!(engine.events().any(|e| matches!(e, ServeEvent::PrefixReused { .. })));
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 8, "cache hits {stats:?}");
+    }
+
+    #[test]
+    fn zero_capacity_rejects_with_queue_full() {
+        let engine = ServeEngine::start(
+            tiny_forecaster(),
+            ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+        );
+        let err = engine.submit(request(1, 1, 1)).err().expect("must reject");
+        assert_eq!(err, ServeError::QueueFull { capacity: 0 });
+        assert!(engine.events().any(|e| matches!(e, ServeEvent::RejectedQueueFull { .. })));
+    }
+
+    #[test]
+    fn stop_accepting_rejects_with_shutdown() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        engine.stop_accepting();
+        assert_eq!(engine.submit(request(1, 1, 1)).err(), Some(ServeError::Shutdown));
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        let mut bad_shape = request(1, 1, 1);
+        bad_shape.init = Tensor::zeros(&[64, 4]);
+        assert!(matches!(engine.submit(bad_shape), Err(ServeError::BadRequest(_))));
+        let mut zero_steps = request(1, 1, 1);
+        zero_steps.steps = 0;
+        assert!(matches!(engine.submit(zero_steps), Err(ServeError::BadRequest(_))));
+        let mut short_table = request(1, 3, 1);
+        short_table.forcings = Forcings::Table(Arc::new(vec![Tensor::zeros(&[128, 3]); 2]));
+        assert!(matches!(engine.submit(short_table), Err(ServeError::BadRequest(_))));
+        let mut bad_channels = request(1, 1, 1);
+        bad_channels.forcings = Forcings::Zeros { channels: 5 };
+        assert!(matches!(engine.submit(bad_channels), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_shed() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        let mut req = request(50, 4, 2);
+        req.deadline = Some(Duration::ZERO);
+        let err = engine.submit(req).expect("admitted").wait().err().expect("must expire");
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
+        assert!(engine.events().any(|e| matches!(e, ServeEvent::DeadlineExceeded { .. })));
+        // The engine still drains cleanly afterwards.
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_and_reports() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        let tickets: Vec<Ticket> =
+            (0..3).map(|i| engine.submit(request(60 + i, 2, 1)).expect("admitted")).collect();
+        let report = engine.shutdown();
+        // Every admitted ticket resolved (shutdown drained them first).
+        for t in &tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert_eq!(report.completed, 3);
+        assert!(report.events.iter().any(|r| matches!(r.event, ServeEvent::Drained { completed: 3 })));
+        assert_eq!(report.metrics.latency_ms.count(), 3);
+        assert!(report.metrics.batch_size.count() > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # aeris-serve — batched, multi-tenant forecast serving
+//!
+//! Production inference for AERIS forecasts, built in the same
+//! rank-as-thread idiom as the `aeris-swipe` training runtime: a bounded
+//! submission queue with admission control, a dynamic micro-batcher that
+//! coalesces shape-compatible requests into batched `forecast_step`
+//! evaluations across a worker pool sharing one [`Forecaster`], a
+//! content-addressed LRU rollout cache, and an ops surface (typed events +
+//! metric series) reusing `aeris_swipe::events`.
+//!
+//! ```no_run
+//! use aeris_serve::{ForecastRequest, Forcings, ServeConfig, ServeEngine};
+//! use std::sync::Arc;
+//! # fn demo(forecaster: Arc<aeris_core::Forecaster>, init: aeris_tensor::Tensor) {
+//! let engine = ServeEngine::start(forecaster, ServeConfig::default());
+//! let ticket = engine
+//!     .submit(ForecastRequest {
+//!         init,
+//!         forcings: Forcings::Zeros { channels: 3 },
+//!         steps: 10,
+//!         n_members: 4,
+//!         seed: 42,
+//!         deadline: None,
+//!     })
+//!     .expect("admitted");
+//! let response = ticket.wait().expect("served");
+//! println!("{} steps computed, {} from cache", response.computed_steps, response.cache_hits);
+//! let report = engine.shutdown();
+//! println!("served {} requests", report.completed);
+//! # }
+//! ```
+//!
+//! Served forecasts are **bitwise identical** to a direct
+//! [`Forecaster::ensemble`] call with the same inputs, regardless of worker
+//! count, batch composition, scheduling order, or cache hits — see the
+//! module docs of [`engine`] for the determinism argument.
+//!
+//! [`Forecaster`]: aeris_core::Forecaster
+//! [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
+
+pub mod api;
+mod batcher;
+pub mod cache;
+pub mod engine;
+
+pub use api::{ForecastRequest, ForecastResponse, Forcings, ServeConfig, ServeError};
+pub use cache::{content_hash, CacheEntry, CacheKey, CacheStats, RolloutCache};
+pub use engine::{ServeEngine, ServeEvent, ServeMetrics, ServeReport, Ticket};

@@ -1,11 +1,23 @@
-//! Structured fault log for the distributed runtime.
+//! Structured event and metrics logging shared by the distributed runtimes.
 //!
-//! Every injected fault, recovery action, and reconfiguration decision is
-//! recorded here so that tests (and operators) can assert not just *that* a
-//! run survived, but *how*: which messages were delayed or dropped, which
-//! retransmits fired, which replicas were retired, and where checkpoints
-//! landed. The log is shared across all rank threads through the [`World`]
-//! and surfaces in [`TrainReport::events`] / [`TrainFailure::events`].
+//! Originally this module held the fault log of the SWiPe trainer; the
+//! machinery (an append-only, thread-shared log of typed records, each tagged
+//! with the actor that observed it) is equally what an inference server needs
+//! for its ops surface, so the log is generic over the event type:
+//!
+//! - [`EventLog<E>`] — the shared log. SWiPe instantiates it at the default
+//!   `E = FaultEvent`; `aeris-serve` instantiates it with its own event enum.
+//! - [`MetricSeries`] — a thread-shared series of scalar samples with
+//!   count/mean/max and percentile queries, for latency, batch-size, queue
+//!   depth and similar operational distributions.
+//!
+//! Every injected fault, recovery action, and reconfiguration decision of the
+//! trainer is recorded here so that tests (and operators) can assert not just
+//! *that* a run survived, but *how*: which messages were delayed or dropped,
+//! which retransmits fired, which replicas were retired, and where
+//! checkpoints landed. The log is shared across all rank threads through the
+//! [`World`] and surfaces in [`TrainReport::events`] /
+//! [`TrainFailure::events`].
 //!
 //! [`World`]: crate::comm::World
 //! [`TrainReport::events`]: crate::trainer::TrainReport
@@ -44,42 +56,129 @@ pub enum FaultEvent {
     CheckpointSaved { next_step: usize, path: String },
 }
 
-/// A [`FaultEvent`] plus the rank that observed/performed it.
+/// An event plus the actor (rank thread, serving worker, …) that
+/// observed/performed it.
 #[derive(Clone, Debug, PartialEq)]
-pub struct EventRecord {
+pub struct EventRecord<E = FaultEvent> {
     pub rank: usize,
-    pub event: FaultEvent,
+    pub event: E,
 }
 
-/// Append-only, thread-shared fault log.
-#[derive(Clone, Default)]
-pub struct EventLog {
-    entries: Arc<Mutex<Vec<EventRecord>>>,
+/// Append-only, thread-shared event log, generic over the event type.
+pub struct EventLog<E = FaultEvent> {
+    entries: Arc<Mutex<Vec<EventRecord<E>>>>,
 }
 
-impl EventLog {
+// Derived `Clone`/`Default` would demand `E: Clone`/`E: Default`; the log
+// itself only clones the `Arc` handle and starts empty, so implement both by
+// hand without bounds.
+impl<E> Clone for EventLog<E> {
+    fn clone(&self) -> Self {
+        EventLog { entries: Arc::clone(&self.entries) }
+    }
+}
+
+impl<E> Default for EventLog<E> {
+    fn default() -> Self {
+        EventLog { entries: Arc::new(Mutex::new(Vec::new())) }
+    }
+}
+
+impl<E> EventLog<E> {
     pub fn new() -> Self {
         EventLog::default()
     }
 
-    /// Record an event observed by `rank`.
-    pub fn record(&self, rank: usize, event: FaultEvent) {
+    /// Record an event observed by actor `rank`.
+    pub fn record(&self, rank: usize, event: E) {
         self.entries.lock().push(EventRecord { rank, event });
     }
 
-    /// Copy out the log (ordering is by record time across all ranks).
-    pub fn snapshot(&self) -> Vec<EventRecord> {
-        self.entries.lock().clone()
-    }
-
     /// Number of recorded events matching a predicate.
-    pub fn count_matching(&self, pred: impl Fn(&FaultEvent) -> bool) -> usize {
+    pub fn count_matching(&self, pred: impl Fn(&E) -> bool) -> usize {
         self.entries.lock().iter().filter(|r| pred(&r.event)).count()
     }
 
     /// Whether any recorded event matches a predicate.
-    pub fn any(&self, pred: impl Fn(&FaultEvent) -> bool) -> bool {
+    pub fn any(&self, pred: impl Fn(&E) -> bool) -> bool {
         self.count_matching(pred) > 0
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E: Clone> EventLog<E> {
+    /// Copy out the log (ordering is by record time across all actors).
+    pub fn snapshot(&self) -> Vec<EventRecord<E>> {
+        self.entries.lock().clone()
+    }
+}
+
+/// A thread-shared series of scalar metric samples (latencies, batch sizes,
+/// queue depths, …) with simple distribution queries. Cloning shares the
+/// underlying series.
+#[derive(Clone, Default)]
+pub struct MetricSeries {
+    samples: Arc<Mutex<Vec<f64>>>,
+}
+
+impl MetricSeries {
+    pub fn new() -> Self {
+        MetricSeries::default()
+    }
+
+    /// Append one sample.
+    pub fn record(&self, value: f64) {
+        self.samples.lock().push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Arithmetic mean, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        let s = self.samples.lock();
+        if s.is_empty() {
+            return None;
+        }
+        Some(s.iter().sum::<f64>() / s.len() as f64)
+    }
+
+    /// Largest sample, or `None` with no samples.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.lock().iter().copied().fold(None, |m, v| {
+            Some(match m {
+                Some(m) => v.max(m),
+                None => v,
+            })
+        })
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) by the nearest-rank method, or
+    /// `None` with no samples.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let mut s = self.samples.lock().clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
+        let rank = ((p / 100.0) * (s.len() as f64 - 1.0)).round() as usize;
+        Some(s[rank.min(s.len() - 1)])
+    }
+
+    /// Copy out the raw samples in record order.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.samples.lock().clone()
     }
 }
 
@@ -105,5 +204,39 @@ mod tests {
             log.count_matching(|e| matches!(e, FaultEvent::GroupRescaled { live_dp: 1, .. })),
             1
         );
+    }
+
+    #[test]
+    fn log_is_generic_over_event_type() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Custom {
+            Tick(u32),
+        }
+        let log: EventLog<Custom> = EventLog::new();
+        log.record(3, Custom::Tick(7));
+        assert_eq!(log.len(), 1);
+        assert!(log.any(|e| matches!(e, Custom::Tick(7))));
+        assert_eq!(log.snapshot()[0].rank, 3);
+    }
+
+    #[test]
+    fn metric_series_distribution_queries() {
+        let m = MetricSeries::new();
+        assert!(m.mean().is_none() && m.percentile(50.0).is_none() && m.max().is_none());
+        for v in [5.0, 1.0, 9.0, 3.0] {
+            m.record(v);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean().unwrap() - 4.5).abs() < 1e-12);
+        assert_eq!(m.max().unwrap(), 9.0);
+        assert_eq!(m.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(m.percentile(100.0).unwrap(), 9.0);
+        // Nearest-rank median of [1,3,5,9] lands on an actual sample.
+        let med = m.percentile(50.0).unwrap();
+        assert!(med == 3.0 || med == 5.0, "median {med}");
+        // Shared across clones.
+        let m2 = m.clone();
+        m2.record(2.0);
+        assert_eq!(m.count(), 5);
     }
 }

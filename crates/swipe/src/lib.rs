@@ -39,7 +39,7 @@ pub mod topology;
 pub mod trainer;
 
 pub use comm::{CommClass, CommConfig, CommError, Communicator, TrafficReport, World};
-pub use events::{EventLog, EventRecord, FaultEvent};
+pub use events::{EventLog, EventRecord, FaultEvent, MetricSeries};
 pub use fault::{FaultPlan, MessageFault};
 pub use layout::ActLayout;
 pub use schedule::{one_f_one_b, try_one_f_one_b, Action, ScheduleError};

@@ -79,7 +79,7 @@ fn main() {
     for day in 1..=3usize {
         let k = day * 4 - 1;
         let truth = ds.state(i0 + k + 1);
-        let members = ens.at_step(k);
+        let members = ens.at_step(k).expect("step within forecast horizon");
         let r = rmse(&ensemble_mean(&members), truth, &lat_w, t2m);
         let c = crps(&members, truth, &lat_w, t2m);
         println!("  day {day}: T2m ensemble-mean RMSE {r:.2} K, CRPS {c:.2} K");

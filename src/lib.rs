@@ -27,5 +27,6 @@ pub use aeris_earthsim as earthsim;
 pub use aeris_evaluation as evaluation;
 pub use aeris_nn as nn;
 pub use aeris_perfmodel as perfmodel;
+pub use aeris_serve as serve;
 pub use aeris_swipe as swipe;
 pub use aeris_tensor as tensor;

@@ -78,7 +78,7 @@ fn trained_ensemble_forecast_is_sane_and_scored() {
     let t2m = vars.index_of("t2m").unwrap();
     for k in [0usize, steps - 1] {
         let truth = ds.state(i0 + k + 1);
-        let members: Vec<&Tensor> = ens.at_step(k);
+        let members: Vec<&Tensor> = ens.at_step(k).expect("step within forecast horizon");
         for m in &members {
             assert!(m.all_finite(), "non-finite forecast at step {k}");
         }
