@@ -1,0 +1,566 @@
+//! Fused windowed multi-head attention as a single tape op.
+//!
+//! The unfused Swin block builds ~10 tape nodes *per window* (row gather,
+//! per-head column slices, RoPE, scores, softmax, weighted sum, concats), so
+//! the tape grows as O(windows · heads) per block and every node's backward
+//! allocates intermediate tensors. [`Tape::window_attention`] replaces that
+//! chain with **one** node: three projection GEMMs, a window-parallel
+//! attention kernel with per-worker scratch reused across windows, the output
+//! GEMM, and an analytic backward.
+//!
+//! # Determinism
+//!
+//! The window loops (forward and backward) write only the disjoint rows of
+//! their own window — the rayon shim hands each closure a disjoint chunk — and
+//! every cross-window reduction (`dWq = Xᵀ dQ`, …) is a plain GEMM with a
+//! fixed per-element accumulation order. No partial sums depend on the worker
+//! count, so losses and gradients are bitwise identical at any thread count.
+//!
+//! # Backward derivation
+//!
+//! Per window and head, with `Q̃ = R(Q)`, `K̃ = R(K)` (RoPE rotation `R`),
+//! `S = Q̃K̃ᵀ·s`, `P = softmax(S)`, `O = PV`:
+//!
+//! - `dV = Pᵀ dO`
+//! - `dP = dO Vᵀ`, and through softmax `dS_ij = P_ij (dP_ij − Σ_j P_ij dP_ij)`
+//! - `dQ̃ = s·dS K̃`, `dK̃ = s·dSᵀ Q̃`, un-rotated with `R⁻¹ = R(−θ)`
+//!
+//! followed by the shared projection gradients `dX = Σ dZ Wᵀ`, `dW = Xᵀ dZ`.
+
+use crate::tape::{Tape, Var};
+use aeris_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use rayon::prelude::*;
+
+/// Static geometry of a fused windowed-attention call: how the token matrix
+/// splits into windows, the head layout, and the (shared) RoPE tables.
+#[derive(Clone, Debug)]
+pub struct WindowAttnPlan {
+    pub n_windows: usize,
+    pub window_len: usize,
+    pub n_heads: usize,
+    pub head_dim: usize,
+    /// `[window_len, head_dim/2]` cosine table, shared by all windows & heads.
+    pub cos: Tensor,
+    /// `[window_len, head_dim/2]` sine table.
+    pub sin: Tensor,
+}
+
+impl WindowAttnPlan {
+    /// Build a plan; validates the table shapes against the geometry.
+    pub fn new(
+        n_windows: usize,
+        window_len: usize,
+        n_heads: usize,
+        head_dim: usize,
+        cos: Tensor,
+        sin: Tensor,
+    ) -> Self {
+        assert_eq!(head_dim % 2, 0, "RoPE needs an even head_dim");
+        assert_eq!(cos.shape(), &[window_len, head_dim / 2]);
+        assert_eq!(sin.shape(), &[window_len, head_dim / 2]);
+        WindowAttnPlan { n_windows, window_len, n_heads, head_dim, cos, sin }
+    }
+
+    /// Total token count covered (`n_windows · window_len`).
+    pub fn tokens(&self) -> usize {
+        self.n_windows * self.window_len
+    }
+
+    /// Model dimension (`n_heads · head_dim`).
+    pub fn dim(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+}
+
+/// Per-worker scratch, allocated once per thread and reused for every window
+/// that thread processes (`for_each_init`).
+struct Scratch {
+    /// Rotated queries for the current window, `[window_len, dim]` row-major.
+    qr: Vec<f32>,
+    /// Rotated keys, same layout.
+    kr: Vec<f32>,
+    /// Gradient w.r.t. rotated keys (backward only).
+    dkr: Vec<f32>,
+    /// One row of attention scores / probabilities, `[window_len]`.
+    prow: Vec<f32>,
+    /// Gradient of one probability row (backward only).
+    dprow: Vec<f32>,
+    /// One head-sized temporary, `[head_dim]`.
+    hrow: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(plan: &WindowAttnPlan) -> Self {
+        let wd = plan.window_len * plan.dim();
+        Scratch {
+            qr: vec![0.0; wd],
+            kr: vec![0.0; wd],
+            dkr: vec![0.0; wd],
+            prow: vec![0.0; plan.window_len],
+            dprow: vec![0.0; plan.window_len],
+            hrow: vec![0.0; plan.head_dim],
+        }
+    }
+}
+
+/// Rotate every head segment of one token row by the table row `(cos, sin)`.
+fn rope_row(src: &[f32], dst: &mut [f32], cos: &[f32], sin: &[f32], n_heads: usize, head_dim: usize) {
+    for h in 0..n_heads {
+        let base = h * head_dim;
+        for (p, (&c, &s)) in cos.iter().zip(sin).enumerate() {
+            let (x0, x1) = (src[base + 2 * p], src[base + 2 * p + 1]);
+            dst[base + 2 * p] = x0 * c - x1 * s;
+            dst[base + 2 * p + 1] = x0 * s + x1 * c;
+        }
+    }
+}
+
+/// Inverse rotation (by `−θ`): transforms gradients in rotated space back.
+fn rope_row_inv(src: &[f32], dst: &mut [f32], cos: &[f32], sin: &[f32], n_heads: usize, head_dim: usize) {
+    for h in 0..n_heads {
+        let base = h * head_dim;
+        for (p, (&c, &s)) in cos.iter().zip(sin).enumerate() {
+            let (g0, g1) = (src[base + 2 * p], src[base + 2 * p + 1]);
+            dst[base + 2 * p] = g0 * c + g1 * s;
+            dst[base + 2 * p + 1] = -g0 * s + g1 * c;
+        }
+    }
+}
+
+/// Recompute the softmax probability row for query `i`, head `base..`, of the
+/// current window into `prow`. Mirrors the exact op order of the unfused path
+/// (full dot product, then ×scale; max / exp / ×(1/z) softmax), so fused and
+/// unfused forwards agree to the last bit.
+#[allow(clippy::too_many_arguments)]
+fn prob_row(
+    qr: &[f32],
+    kr: &[f32],
+    prow: &mut [f32],
+    i: usize,
+    base: usize,
+    dim: usize,
+    head_dim: usize,
+    scale: f32,
+) {
+    let q_i = &qr[i * dim + base..i * dim + base + head_dim];
+    for (j, p) in prow.iter_mut().enumerate() {
+        let k_j = &kr[j * dim + base..j * dim + base + head_dim];
+        let mut acc = 0.0f32;
+        for (&qc, &kc) in q_i.iter().zip(k_j) {
+            acc += qc * kc;
+        }
+        *p = acc * scale;
+    }
+    let m = prow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for p in prow.iter_mut() {
+        let e = (*p - m).exp();
+        *p = e;
+        z += e;
+    }
+    let inv = 1.0 / z;
+    for p in prow.iter_mut() {
+        *p *= inv;
+    }
+}
+
+/// Forward: `Y = attn(X) Wo`. Returns `(y, q, k, v, o)` with the projections
+/// and the pre-output-projection context `O` saved for the backward pass.
+fn forward(
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    wo: &Tensor,
+    plan: &WindowAttnPlan,
+) -> (Tensor, Tensor, Tensor, Tensor, Tensor) {
+    let (tokens, dim) = (plan.tokens(), plan.dim());
+    assert_eq!(x.shape(), &[tokens, dim], "window_attention input shape");
+    for w in [wq, wk, wv, wo] {
+        assert_eq!(w.shape(), &[dim, dim], "window_attention weight shape");
+    }
+    let (wlen, n_heads, head_dim) = (plan.window_len, plan.n_heads, plan.head_dim);
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let pairs = head_dim / 2;
+
+    let q = matmul(x, wq);
+    let k = matmul(x, wk);
+    let v = matmul(x, wv);
+
+    let mut o = Tensor::zeros(&[tokens, dim]);
+    let (q_data, k_data, v_data) = (q.data(), k.data(), v.data());
+    let (cos, sin) = (plan.cos.data(), plan.sin.data());
+    o.data_mut().par_chunks_mut(wlen * dim).enumerate().for_each_init(
+        || Scratch::new(plan),
+        |scr, (w, o_win)| {
+            let r0 = w * wlen;
+            for i in 0..wlen {
+                let (cr, sr) = (&cos[i * pairs..(i + 1) * pairs], &sin[i * pairs..(i + 1) * pairs]);
+                let row = (r0 + i) * dim;
+                rope_row(&q_data[row..row + dim], &mut scr.qr[i * dim..(i + 1) * dim], cr, sr, n_heads, head_dim);
+                rope_row(&k_data[row..row + dim], &mut scr.kr[i * dim..(i + 1) * dim], cr, sr, n_heads, head_dim);
+            }
+            for h in 0..n_heads {
+                let base = h * head_dim;
+                for i in 0..wlen {
+                    prob_row(&scr.qr, &scr.kr, &mut scr.prow, i, base, dim, head_dim, scale);
+                    let out = &mut o_win[i * dim + base..i * dim + base + head_dim];
+                    for (j, &pw) in scr.prow.iter().enumerate() {
+                        if pw == 0.0 {
+                            continue;
+                        }
+                        let v_j = &v_data[(r0 + j) * dim + base..(r0 + j) * dim + base + head_dim];
+                        for (oc, &vc) in out.iter_mut().zip(v_j) {
+                            *oc += pw * vc;
+                        }
+                    }
+                }
+            }
+        },
+    );
+
+    let y = matmul(&o, wo);
+    (y, q, k, v, o)
+}
+
+/// Analytic backward. Window-parallel like the forward; each window writes
+/// only its own rows of the combined `[tokens, 3·dim]` gradient buffer
+/// (`dQ | dK | dV` side by side), and all cross-window reductions happen in
+/// the final deterministic GEMMs.
+#[allow(clippy::too_many_arguments)]
+fn backward(
+    dy: &Tensor,
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    wo: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    o: &Tensor,
+    plan: &WindowAttnPlan,
+) -> Vec<Tensor> {
+    let (tokens, dim) = (plan.tokens(), plan.dim());
+    let (wlen, n_heads, head_dim) = (plan.window_len, plan.n_heads, plan.head_dim);
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let pairs = head_dim / 2;
+
+    let dwo = matmul_tn(o, dy);
+    let d_o = matmul_nt(dy, wo);
+
+    let mut dqkv = Tensor::zeros(&[tokens, 3 * dim]);
+    let (q_data, k_data, v_data) = (q.data(), k.data(), v.data());
+    let do_data = d_o.data();
+    let (cos, sin) = (plan.cos.data(), plan.sin.data());
+    dqkv.data_mut().par_chunks_mut(wlen * 3 * dim).enumerate().for_each_init(
+        || Scratch::new(plan),
+        |scr, (w, dwin)| {
+            let r0 = w * wlen;
+            for i in 0..wlen {
+                let (cr, sr) = (&cos[i * pairs..(i + 1) * pairs], &sin[i * pairs..(i + 1) * pairs]);
+                let row = (r0 + i) * dim;
+                rope_row(&q_data[row..row + dim], &mut scr.qr[i * dim..(i + 1) * dim], cr, sr, n_heads, head_dim);
+                rope_row(&k_data[row..row + dim], &mut scr.kr[i * dim..(i + 1) * dim], cr, sr, n_heads, head_dim);
+            }
+            scr.dkr.fill(0.0);
+            for h in 0..n_heads {
+                let base = h * head_dim;
+                for i in 0..wlen {
+                    prob_row(&scr.qr, &scr.kr, &mut scr.prow, i, base, dim, head_dim, scale);
+                    let do_i = &do_data[(r0 + i) * dim + base..(r0 + i) * dim + base + head_dim];
+                    // dP_ij = <dO_i, V_j>, then softmax backward to dS (reusing
+                    // the dprow buffer) with the ×scale of the score op folded in.
+                    for (j, dp) in scr.dprow.iter_mut().enumerate() {
+                        let v_j = &v_data[(r0 + j) * dim + base..(r0 + j) * dim + base + head_dim];
+                        let mut acc = 0.0f32;
+                        for (&gc, &vc) in do_i.iter().zip(v_j) {
+                            acc += gc * vc;
+                        }
+                        *dp = acc;
+                    }
+                    let dot: f32 = scr.prow.iter().zip(&scr.dprow).map(|(&p, &g)| p * g).sum();
+                    for (ds, &p) in scr.dprow.iter_mut().zip(&scr.prow) {
+                        *ds = p * (*ds - dot) * scale;
+                    }
+                    // dQ̃_i = Σ_j dS_ij K̃_j ; dK̃_j += dS_ij Q̃_i ; dV_j += P_ij dO_i.
+                    scr.hrow.fill(0.0);
+                    let q_i = scr.qr[i * dim + base..i * dim + base + head_dim].to_vec();
+                    for (j, (&ds, &pw)) in scr.dprow.iter().zip(&scr.prow).enumerate() {
+                        let k_j = &scr.kr[j * dim + base..j * dim + base + head_dim];
+                        for (hc, &kc) in scr.hrow.iter_mut().zip(k_j) {
+                            *hc += ds * kc;
+                        }
+                        let dk_j = &mut scr.dkr[j * dim + base..j * dim + base + head_dim];
+                        for (dc, &qc) in dk_j.iter_mut().zip(&q_i) {
+                            *dc += ds * qc;
+                        }
+                        let dv_j = &mut dwin[j * 3 * dim + 2 * dim + base..j * 3 * dim + 2 * dim + base + head_dim];
+                        for (dc, &gc) in dv_j.iter_mut().zip(do_i) {
+                            *dc += pw * gc;
+                        }
+                    }
+                    // Un-rotate dQ̃_i into the dQ section of the window buffer.
+                    let (cr, sr) = (&cos[i * pairs..(i + 1) * pairs], &sin[i * pairs..(i + 1) * pairs]);
+                    let dq_i = &mut dwin[i * 3 * dim + base..i * 3 * dim + base + head_dim];
+                    for (p, (&c, &s)) in cr.iter().zip(sr).enumerate() {
+                        let (g0, g1) = (scr.hrow[2 * p], scr.hrow[2 * p + 1]);
+                        dq_i[2 * p] = g0 * c + g1 * s;
+                        dq_i[2 * p + 1] = -g0 * s + g1 * c;
+                    }
+                }
+            }
+            // Un-rotate the accumulated dK̃ rows into the dK section.
+            for j in 0..wlen {
+                let (cr, sr) = (&cos[j * pairs..(j + 1) * pairs], &sin[j * pairs..(j + 1) * pairs]);
+                rope_row_inv(
+                    &scr.dkr[j * dim..(j + 1) * dim],
+                    &mut dwin[j * 3 * dim + dim..j * 3 * dim + 2 * dim],
+                    cr,
+                    sr,
+                    n_heads,
+                    head_dim,
+                );
+            }
+        },
+    );
+
+    let dq = dqkv.slice_cols(0, dim);
+    let dk = dqkv.slice_cols(dim, 2 * dim);
+    let dv = dqkv.slice_cols(2 * dim, 3 * dim);
+    let mut dx = matmul_nt(&dq, wq);
+    dx.add_assign(&matmul_nt(&dk, wk));
+    dx.add_assign(&matmul_nt(&dv, wv));
+    let dwq = matmul_tn(x, &dq);
+    let dwk = matmul_tn(x, &dk);
+    let dwv = matmul_tn(x, &dv);
+    vec![dx, dwq, dwk, dwv, dwo]
+}
+
+impl Tape {
+    /// Fused windowed multi-head attention with RoPE:
+    /// `Y = concat_w softmax(R(X_w Wq) R(X_w Wk)ᵀ / √d) (X_w Wv) · Wo`
+    /// over all windows of `x: [tokens, dim]`, as **one** tape node.
+    ///
+    /// `x` is the window-partitioned token matrix (window-major rows, as
+    /// produced by the Swin partition permutation); `wq`/`wk`/`wv`/`wo` are
+    /// the `[dim, dim]` projection weights. Matches the unfused per-window op
+    /// chain exactly in both value and gradients.
+    pub fn window_attention(
+        &mut self,
+        x: Var,
+        wq: Var,
+        wk: Var,
+        wv: Var,
+        wo: Var,
+        plan: &WindowAttnPlan,
+    ) -> Var {
+        let (y, q, k, v, o) = forward(
+            self.value(x),
+            self.value(wq),
+            self.value(wk),
+            self.value(wv),
+            self.value(wo),
+            plan,
+        );
+        let plan = plan.clone();
+        let (px, pwq, pwk, pwv, pwo) = (x.0, wq.0, wk.0, wv.0, wo.0);
+        self.push(
+            y,
+            vec![px, pwq, pwk, pwv, pwo],
+            Some(Box::new(move |d, nodes| {
+                backward(
+                    &d,
+                    nodes[px].value(),
+                    nodes[pwq].value(),
+                    nodes[pwk].value(),
+                    nodes[pwv].value(),
+                    nodes[pwo].value(),
+                    &q,
+                    &k,
+                    &v,
+                    &o,
+                    &plan,
+                )
+            })),
+            true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_grad_close, numeric_grad};
+    use aeris_tensor::Rng;
+
+    fn test_plan(n_windows: usize, wlen: usize, n_heads: usize, head_dim: usize) -> WindowAttnPlan {
+        let pairs = head_dim / 2;
+        let angles: Vec<f32> = (0..wlen * pairs).map(|i| 0.37 * i as f32).collect();
+        let cos = Tensor::from_vec(&[wlen, pairs], angles.iter().map(|a| a.cos()).collect());
+        let sin = Tensor::from_vec(&[wlen, pairs], angles.iter().map(|a| a.sin()).collect());
+        WindowAttnPlan::new(n_windows, wlen, n_heads, head_dim, cos, sin)
+    }
+
+    fn random_weights(dim: usize, rng: &mut Rng) -> [Tensor; 4] {
+        std::array::from_fn(|_| Tensor::randn(&[dim, dim], rng).scale(1.0 / (dim as f32).sqrt()))
+    }
+
+    /// The unfused reference: the exact per-window / per-head tape-op chain
+    /// the Swin block used before fusion.
+    fn unfused(
+        tape: &mut Tape,
+        x: Var,
+        w: [Var; 4],
+        plan: &WindowAttnPlan,
+    ) -> Var {
+        let [wq, wk, wv, wo] = w;
+        let wlen = plan.window_len;
+        let scale = 1.0 / (plan.head_dim as f32).sqrt();
+        let mut outs = Vec::new();
+        for win in 0..plan.n_windows {
+            let xw = tape.slice_rows(x, win * wlen, (win + 1) * wlen);
+            let q = tape.matmul(xw, wq);
+            let k = tape.matmul(xw, wk);
+            let v = tape.matmul(xw, wv);
+            let mut heads = Vec::new();
+            for h in 0..plan.n_heads {
+                let (c0, c1) = (h * plan.head_dim, (h + 1) * plan.head_dim);
+                let qh = tape.slice_cols(q, c0, c1);
+                let kh = tape.slice_cols(k, c0, c1);
+                let vh = tape.slice_cols(v, c0, c1);
+                let qh = tape.rope_rows(qh, &plan.cos, &plan.sin);
+                let kh = tape.rope_rows(kh, &plan.cos, &plan.sin);
+                let s = tape.matmul_nt(qh, kh);
+                let s = tape.scale(s, scale);
+                let p = tape.softmax_rows(s);
+                heads.push(tape.matmul(p, vh));
+            }
+            let merged = tape.concat_cols(&heads);
+            outs.push(tape.matmul(merged, wo));
+        }
+        tape.concat_rows(&outs)
+    }
+
+    fn setup(plan: &WindowAttnPlan, seed: u64) -> (Tensor, [Tensor; 4]) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[plan.tokens(), plan.dim()], &mut rng);
+        let w = random_weights(plan.dim(), &mut rng);
+        (x, w)
+    }
+
+    /// Fused forward, loss, and all five gradients vs. the unfused op chain.
+    #[test]
+    fn fused_matches_unfused_forward_and_backward() {
+        let plan = test_plan(3, 4, 2, 4);
+        let (x, w) = setup(&plan, 21);
+
+        let run = |fused: bool| -> (Tensor, Vec<Tensor>) {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv: Vec<Var> = w.iter().map(|t| tape.leaf(t.clone())).collect();
+            let y = if fused {
+                tape.window_attention(xv, wv[0], wv[1], wv[2], wv[3], &plan)
+            } else {
+                unfused(&mut tape, xv, [wv[0], wv[1], wv[2], wv[3]], &plan)
+            };
+            let sq = tape.mul(y, y);
+            let loss = tape.sum(sq);
+            let y_val = tape.value(y).clone();
+            let mut grads = tape.backward(loss);
+            let gs = std::iter::once(xv)
+                .chain(wv)
+                .map(|v| grads.take(v).expect("grad"))
+                .collect();
+            (y_val, gs)
+        };
+
+        let (y_f, g_f) = run(true);
+        let (y_u, g_u) = run(false);
+        assert!(y_f.max_abs_diff(&y_u) < 1e-5, "forward diff {}", y_f.max_abs_diff(&y_u));
+        for (i, (gf, gu)) in g_f.iter().zip(&g_u).enumerate() {
+            assert!(
+                gf.max_abs_diff(gu) < 1e-5,
+                "grad {i} diff {}",
+                gf.max_abs_diff(gu)
+            );
+        }
+    }
+
+    /// Gradcheck against central finite differences for the input and one
+    /// projection weight.
+    #[test]
+    fn gradcheck_input_and_weight() {
+        let plan = test_plan(2, 4, 2, 4);
+        let (x, w) = setup(&plan, 22);
+
+        // d/dx
+        let loss_of = |x_t: &Tensor, wq_t: &Tensor| -> (Tape, Var, Var, Var) {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x_t.clone());
+            let wqv = tape.leaf(wq_t.clone());
+            let wkv = tape.constant(w[1].clone());
+            let wvv = tape.constant(w[2].clone());
+            let wov = tape.constant(w[3].clone());
+            let y = tape.window_attention(xv, wqv, wkv, wvv, wov, &plan);
+            let sq = tape.mul(y, y);
+            let l = tape.sum(sq);
+            (tape, xv, wqv, l)
+        };
+        let (mut tape, xv, wqv, l) = loss_of(&x, &w[0]);
+        let mut grads = tape.backward(l);
+        let gx = grads.take(xv).unwrap();
+        let gwq = grads.take(wqv).unwrap();
+
+        let mut fx = |x_t: &Tensor| {
+            let (tape, _, _, l) = loss_of(x_t, &w[0]);
+            tape.value(l).data()[0] as f64
+        };
+        assert_grad_close(&gx, &numeric_grad(&mut fx, &x, 1e-3), 3e-2);
+        let mut fw = |wq_t: &Tensor| {
+            let (tape, _, _, l) = loss_of(&x, wq_t);
+            tape.value(l).data()[0] as f64
+        };
+        assert_grad_close(&gwq, &numeric_grad(&mut fw, &w[0], 1e-3), 3e-2);
+    }
+
+    /// One tape node regardless of window/head count (plus the leaves).
+    #[test]
+    fn tape_is_constant_size_in_windows() {
+        let plan = test_plan(8, 4, 2, 4);
+        let (x, w) = setup(&plan, 23);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let wv: Vec<Var> = w.into_iter().map(|t| tape.leaf(t)).collect();
+        let before = tape.len();
+        let _ = tape.window_attention(xv, wv[0], wv[1], wv[2], wv[3], &plan);
+        assert_eq!(tape.len() - before, 1);
+    }
+
+    /// Loss and every gradient must be bitwise identical across pool widths.
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let plan = test_plan(6, 4, 2, 4);
+        let (x, w) = setup(&plan, 24);
+        let run = |threads: usize| -> Vec<Vec<u32>> {
+            rayon::set_thread_override(Some(threads));
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv: Vec<Var> = w.iter().map(|t| tape.leaf(t.clone())).collect();
+            let y = tape.window_attention(xv, wv[0], wv[1], wv[2], wv[3], &plan);
+            let sq = tape.mul(y, y);
+            let loss = tape.sum(sq);
+            let mut out = vec![tape.value(loss).data().iter().map(|v| v.to_bits()).collect()];
+            let mut grads = tape.backward(loss);
+            for v in std::iter::once(xv).chain(wv) {
+                out.push(grads.take(v).unwrap().data().iter().map(|g| g.to_bits()).collect());
+            }
+            rayon::set_thread_override(None);
+            out
+        };
+        let base = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(base, run(t), "not bitwise stable at {t} threads");
+        }
+    }
+}

@@ -19,8 +19,10 @@
 // that style, so the pedantic range-loop lint is disabled crate-wide.
 #![allow(clippy::needless_range_loop)]
 
+mod attention;
 mod tape;
 
+pub use attention::WindowAttnPlan;
 pub use tape::{Grads, Tape, Var};
 
 use aeris_tensor::Tensor;

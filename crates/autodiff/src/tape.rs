@@ -7,7 +7,11 @@ use aeris_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
-type BackFn = Box<dyn Fn(&Tensor, &[Node]) -> Vec<Tensor>>;
+/// Backward closure: receives the node's upstream gradient *by value* (the
+/// reverse sweep is done with it afterwards), so trivial ops — `add`,
+/// `add_scalar`, `reshape`, `scale` — forward or transform the buffer in
+/// place instead of cloning it.
+pub(crate) type BackFn = Box<dyn Fn(Tensor, &[Node]) -> Vec<Tensor>>;
 
 pub(crate) struct Node {
     value: Tensor,
@@ -71,7 +75,7 @@ impl Tape {
         self.nodes.iter().map(|n| n.value.len()).sum()
     }
 
-    fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackFn>, rg: bool) -> Var {
+    pub(crate) fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackFn>, rg: bool) -> Var {
         self.nodes.push(Node { value, parents, backward, requires_grad: rg });
         Var(self.nodes.len() - 1)
     }
@@ -99,7 +103,10 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|d, _| vec![d.clone(), d.clone()])),
+            Some(Box::new(|d, _| {
+                let da = d.clone();
+                vec![da, d]
+            })),
             true,
         )
     }
@@ -110,7 +117,10 @@ impl Tape {
         self.push(
             value,
             vec![a.0, b.0],
-            Some(Box::new(|d, _| vec![d.clone(), d.scale(-1.0)])),
+            Some(Box::new(|d, _| {
+                let db = d.scale(-1.0);
+                vec![d, db]
+            })),
             true,
         )
     }
@@ -132,13 +142,21 @@ impl Tape {
     /// `c * a` for a scalar constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
         let value = self.value(a).scale(c);
-        self.push(value, vec![a.0], Some(Box::new(move |d, _| vec![d.scale(c)])), true)
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |mut d, _| {
+                d.scale_inplace(c);
+                vec![d]
+            })),
+            true,
+        )
     }
 
     /// `a + c` for a scalar constant `c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let value = self.value(a).add_scalar(c);
-        self.push(value, vec![a.0], Some(Box::new(|d, _| vec![d.clone()])), true)
+        self.push(value, vec![a.0], Some(Box::new(|d, _| vec![d])), true)
     }
 
     /// Reshape (same element count); backward reshapes the gradient back.
@@ -148,7 +166,7 @@ impl Tape {
         self.push(
             value,
             vec![a.0],
-            Some(Box::new(move |d, _| vec![d.clone().reshape(&old_shape)])),
+            Some(Box::new(move |d, _| vec![d.reshape(&old_shape)])),
             true,
         )
     }
@@ -181,8 +199,8 @@ impl Tape {
             value,
             vec![pa, pb],
             Some(Box::new(move |d, nodes| {
-                let da = matmul_nt(d, nodes[pb].value()); // dC Bᵀ
-                let db = matmul_tn(nodes[pa].value(), d); // Aᵀ dC
+                let da = matmul_nt(&d, nodes[pb].value()); // dC Bᵀ
+                let db = matmul_tn(nodes[pa].value(), &d); // Aᵀ dC
                 vec![da, db]
             })),
             true,
@@ -197,8 +215,8 @@ impl Tape {
             value,
             vec![pa, pb],
             Some(Box::new(move |d, nodes| {
-                let da = matmul(d, nodes[pb].value()); // dC B
-                let db = matmul_tn(d, nodes[pa].value()); // dCᵀ A
+                let da = matmul(&d, nodes[pb].value()); // dC B
+                let db = matmul_tn(&d, nodes[pa].value()); // dCᵀ A
                 vec![da, db]
             })),
             true,
@@ -299,6 +317,28 @@ impl Tape {
                 for r in 0..rows {
                     dx.row_mut(r)[c0..c1].copy_from_slice(&d.data()[r * w..(r + 1) * w]);
                 }
+                vec![dx]
+            })),
+            true,
+        )
+    }
+
+    /// Rows `[r0, r1)` of a 2-D tensor. Unlike [`Tape::gather_rows`] with a
+    /// consecutive index vector, this is a contiguous memcpy forward and a
+    /// single `copy_from_slice` into a zero buffer backward — no index vector,
+    /// no per-row scatter-add.
+    pub fn slice_rows(&mut self, a: Var, r0: usize, r1: usize) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.ndim(), 2);
+        let (rows, cols) = (av.shape()[0], av.shape()[1]);
+        assert!(r0 <= r1 && r1 <= rows, "row slice [{r0}, {r1}) out of bounds ({rows})");
+        let value = av.slice_rows(r0, r1);
+        self.push(
+            value,
+            vec![a.0],
+            Some(Box::new(move |d, _| {
+                let mut dx = Tensor::zeros(&[rows, cols]);
+                dx.data_mut()[r0 * cols..r1 * cols].copy_from_slice(d.data());
                 vec![dx]
             })),
             true,
@@ -526,7 +566,7 @@ impl Tape {
                         *o += g;
                     }
                 }
-                vec![d.clone(), dv]
+                vec![d, dv]
             })),
             true,
         )
@@ -618,7 +658,7 @@ impl Tape {
             let Some(dout) = grads[i].take() else { continue };
             let node = &self.nodes[i];
             if let Some(back) = &node.backward {
-                let parent_grads = back(&dout, &self.nodes);
+                let parent_grads = back(dout, &self.nodes);
                 debug_assert_eq!(parent_grads.len(), node.parents.len());
                 for (p, g) in node.parents.clone().into_iter().zip(parent_grads) {
                     if !self.nodes[p].requires_grad && self.nodes[p].backward.is_none() {
@@ -820,6 +860,29 @@ mod tests {
             let sq = t.mul(cat, cat);
             t.sum(sq)
         });
+    }
+
+    #[test]
+    fn grad_slice_rows() {
+        let mut rng = Rng::seed_from(19);
+        let x = Tensor::randn(&[5, 3], &mut rng);
+        check(&x, 1e-2, |t, v| {
+            let mid = t.slice_rows(v, 1, 4);
+            let sq = t.mul(mid, mid);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn slice_rows_matches_gather_rows() {
+        let mut rng = Rng::seed_from(20);
+        let x = Tensor::randn(&[6, 4], &mut rng);
+        let mut tape = Tape::new();
+        let v = tape.leaf(x.clone());
+        let s = tape.slice_rows(v, 2, 5);
+        let g = tape.gather_rows(v, &[2, 3, 4]);
+        assert!(tape.value(s).max_abs_diff(tape.value(g)) < 1e-7);
+        assert_eq!(tape.value(s).shape(), &[3, 4]);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Compute-substrate benchmark: GFLOP/s for the GEMM kernels and the fused
+//! windowed-attention op, plus ms per training step, each at 1, 2, and N
+//! worker threads (N = the machine's available parallelism). Emits
+//! `BENCH_kernels.json` in the working directory so later changes have a perf
+//! trajectory to regress against.
+//!
+//! Thread counts are switched in-process with `rayon::set_thread_override`
+//! (equivalent to launching with `AERIS_THREADS=n`); the kernels are
+//! bitwise-deterministic across counts, so every row measures identical work.
+
+use aeris_autodiff::{Tape, WindowAttnPlan};
+use aeris_core::{AerisConfig, AerisModel, TrainSample, Trainer, TrainerConfig};
+use aeris_earthsim::Grid;
+use aeris_nn::RopeTable;
+use aeris_tensor::{matmul, matmul_nt, matmul_tn, Rng, Tensor};
+use std::time::Instant;
+
+/// Thread counts to sweep: 1, 2, and the machine width, deduplicated.
+fn thread_counts() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, n];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Best-of-`reps` seconds per call of `f`, after one warmup call.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct GemmResult {
+    name: &'static str,
+    dims: (usize, usize, usize),
+    /// `(threads, gflops)` rows.
+    rows: Vec<(usize, f64)>,
+}
+
+fn bench_gemm(
+    name: &'static str,
+    dims: (usize, usize, usize),
+    kernel: impl Fn(&Tensor, &Tensor) -> Tensor,
+    a: Tensor,
+    b: Tensor,
+) -> GemmResult {
+    let (m, n, k) = dims;
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let mut rows = Vec::new();
+    for &t in &thread_counts() {
+        rayon::set_thread_override(Some(t));
+        let secs = time_best(5, || {
+            std::hint::black_box(kernel(&a, &b));
+        });
+        rows.push((t, flops / secs / 1e9));
+    }
+    rayon::set_thread_override(None);
+    GemmResult { name, dims, rows }
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(42);
+    println!("AERIS kernel benchmark — threads swept: {:?}", thread_counts());
+
+    // --- GEMM kernels (sizes above the parallel threshold) ---
+    let s = 256;
+    let gemms = vec![
+        bench_gemm(
+            "matmul",
+            (s, s, s),
+            matmul,
+            Tensor::randn(&[s, s], &mut rng),
+            Tensor::randn(&[s, s], &mut rng),
+        ),
+        bench_gemm(
+            "matmul_nt",
+            (s, s, s),
+            matmul_nt,
+            Tensor::randn(&[s, s], &mut rng),
+            Tensor::randn(&[s, s], &mut rng),
+        ),
+        bench_gemm(
+            "matmul_tn",
+            (s, s, s),
+            matmul_tn,
+            Tensor::randn(&[s, s], &mut rng),
+            Tensor::randn(&[s, s], &mut rng),
+        ),
+    ];
+    for g in &gemms {
+        let cells: Vec<String> =
+            g.rows.iter().map(|(t, gf)| format!("{t}T {gf:7.2}")).collect();
+        println!("{:<12} {}x{}x{}  GFLOP/s: {}", g.name, g.dims.0, g.dims.1, g.dims.2, cells.join("  "));
+    }
+
+    // --- fused window attention (toy_default geometry: 32×64 grid, 8×8
+    //     windows, dim 64, 4 heads) ---
+    let (n_windows, wlen, n_heads, head_dim) = (32, 64, 4, 16);
+    let dim = n_heads * head_dim;
+    let tokens = n_windows * wlen;
+    let rope = RopeTable::new(8, 8, head_dim, 0, 0);
+    let plan =
+        WindowAttnPlan::new(n_windows, wlen, n_heads, head_dim, rope.cos.clone(), rope.sin.clone());
+    let x = Tensor::randn(&[tokens, dim], &mut rng);
+    let ws: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::randn(&[dim, dim], &mut rng).scale(1.0 / (dim as f32).sqrt()))
+        .collect();
+    // 4 projection GEMMs (8·T·dim²) + scores and weighted sum (4·T·wlen·dim).
+    let attn_flops =
+        8.0 * tokens as f64 * (dim * dim) as f64 + 4.0 * tokens as f64 * (wlen * dim) as f64;
+    let mut attn_rows = Vec::new();
+    for &t in &thread_counts() {
+        rayon::set_thread_override(Some(t));
+        let secs = time_best(5, || {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv: Vec<_> = ws.iter().map(|w| tape.constant(w.clone())).collect();
+            std::hint::black_box(tape.window_attention(xv, wv[0], wv[1], wv[2], wv[3], &plan));
+        });
+        attn_rows.push((t, attn_flops / secs / 1e9));
+    }
+    rayon::set_thread_override(None);
+    let cells: Vec<String> = attn_rows.iter().map(|(t, gf)| format!("{t}T {gf:7.2}")).collect();
+    println!("{:<12} {n_windows}w×{wlen}×{dim}   GFLOP/s: {}", "window_attn", cells.join("  "));
+
+    // --- full training step (forward + backward + AdamW), toy_default model ---
+    let channels = 8;
+    let cfg = AerisConfig::toy_default(channels);
+    let step_tokens = cfg.tokens();
+    let mut step_rows = Vec::new();
+    for &t in &thread_counts() {
+        rayon::set_thread_override(Some(t));
+        let mut model = AerisModel::new(cfg.clone());
+        let mut trainer = Trainer::new(
+            &model,
+            Grid::new(cfg.grid_h, cfg.grid_w),
+            &vec![1.0; channels],
+            TrainerConfig::paper_scaled(10_000, 2),
+        );
+        let samples: Vec<TrainSample> = (0..2)
+            .map(|_| TrainSample {
+                x_prev: Tensor::randn(&[step_tokens, channels], &mut rng),
+                residual: Tensor::randn(&[step_tokens, channels], &mut rng),
+                forcings: Tensor::randn(&[step_tokens, cfg.forcing_channels], &mut rng),
+            })
+            .collect();
+        let batch: Vec<&TrainSample> = samples.iter().collect();
+        let secs = time_best(3, || {
+            std::hint::black_box(trainer.train_step(&mut model, &batch));
+        });
+        step_rows.push((t, secs * 1e3));
+    }
+    rayon::set_thread_override(None);
+    let cells: Vec<String> = step_rows.iter().map(|(t, ms)| format!("{t}T {ms:8.1}ms")).collect();
+    println!("{:<12} {step_tokens} tokens, batch 2: {}", "train_step", cells.join("  "));
+    let speedup = step_rows[0].1 / step_rows.last().unwrap().1;
+    println!(
+        "train_step speedup at {} threads vs 1: {speedup:.2}x",
+        step_rows.last().unwrap().0
+    );
+
+    // --- JSON report ---
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n  \"thread_counts\": {:?},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        thread_counts()
+    ));
+    out.push_str("  \"gemm_gflops\": {\n");
+    for (i, g) in gemms.iter().enumerate() {
+        let rows: Vec<String> =
+            g.rows.iter().map(|(t, gf)| format!("{{\"threads\": {t}, \"gflops\": {gf:.3}}}")).collect();
+        out.push_str(&format!(
+            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"rows\": [{}]}}{}\n",
+            g.name,
+            g.dims.0,
+            g.dims.1,
+            g.dims.2,
+            rows.join(", "),
+            if i + 1 < gemms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    let rows: Vec<String> =
+        attn_rows.iter().map(|(t, gf)| format!("{{\"threads\": {t}, \"gflops\": {gf:.3}}}")).collect();
+    out.push_str(&format!(
+        "  \"window_attention\": {{\"n_windows\": {n_windows}, \"window_len\": {wlen}, \"n_heads\": {n_heads}, \"head_dim\": {head_dim}, \"rows\": [{}]}},\n",
+        rows.join(", ")
+    ));
+    let rows: Vec<String> =
+        step_rows.iter().map(|(t, ms)| format!("{{\"threads\": {t}, \"ms\": {ms:.2}}}")).collect();
+    out.push_str(&format!(
+        "  \"training_step\": {{\"config\": \"toy_default({channels})\", \"tokens\": {step_tokens}, \"batch\": 2, \"rows\": [{}], \"speedup_max_vs_1\": {speedup:.3}}}\n",
+        rows.join(", ")
+    ));
+    out.push_str("}\n");
+    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -59,13 +59,9 @@ impl SwinBlock {
         let perm = if self.shifted { &geo.shifted_perm } else { &geo.direct_perm };
         let inv = if self.shifted { &geo.shifted_inv } else { &geo.direct_inv };
         let windowed = tape.gather_rows(h, perm);
-        let wlen = geo.grid.window_len();
-        let mut outs = Vec::with_capacity(geo.grid.count());
-        for w in 0..geo.grid.count() {
-            let win = tape.gather_rows(windowed, &identity_range(w * wlen, wlen));
-            outs.push(self.attn.forward(tape, binding, store, win, &geo.rope));
-        }
-        let merged = tape.concat_rows(&outs);
+        let merged =
+            self.attn
+                .forward_all_windows(tape, binding, store, windowed, &geo.rope, geo.grid.count());
         let h = tape.gather_rows(merged, inv);
         let h = tape.mul_rows(h, gate1);
         let x = tape.add(x, h);
@@ -114,10 +110,6 @@ impl BlockGeometry {
         let shifted_inv = aeris_nn::window::invert_perm(&shifted_perm);
         BlockGeometry { grid, rope, direct_perm, direct_inv, shifted_perm, shifted_inv }
     }
-}
-
-fn identity_range(start: usize, len: usize) -> Vec<usize> {
-    (start..start + len).collect()
 }
 
 /// The full AERIS network with its parameter store.

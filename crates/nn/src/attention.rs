@@ -3,7 +3,7 @@
 use crate::linear::Linear;
 use crate::params::{Binding, ParamStore};
 use crate::rope::RopeTable;
-use aeris_autodiff::{Tape, Var};
+use aeris_autodiff::{Tape, Var, WindowAttnPlan};
 use aeris_tensor::Rng;
 
 /// Window-local multi-head attention: queries, keys, and values are projected
@@ -68,6 +68,36 @@ impl WindowAttention {
         }
         let merged = tape.concat_cols(&head_outs);
         self.wo.forward(tape, binding, store, merged)
+    }
+
+    /// Fused forward over *all* windows at once: `windowed` is the
+    /// window-partitioned `[n_windows · s, dim]` token matrix (window-major
+    /// rows), `s = rope.seq_len()`. One tape node instead of ~10 per window;
+    /// the kernel parallelizes over windows with per-thread scratch. Matches
+    /// [`WindowAttention::forward`] applied window by window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_all_windows(
+        &self,
+        tape: &mut Tape,
+        binding: &mut Binding,
+        store: &ParamStore,
+        windowed: Var,
+        rope: &RopeTable,
+        n_windows: usize,
+    ) -> Var {
+        let plan = WindowAttnPlan::new(
+            n_windows,
+            rope.seq_len(),
+            self.n_heads,
+            self.head_dim,
+            rope.cos.clone(),
+            rope.sin.clone(),
+        );
+        let wq = binding.var(tape, store, self.wq.w);
+        let wk = binding.var(tape, store, self.wk.w);
+        let wv = binding.var(tape, store, self.wv.w);
+        let wo = binding.var(tape, store, self.wo.w);
+        tape.window_attention(windowed, wq, wk, wv, wo, &plan)
     }
 
     /// Scalar parameter count (4·dim² for the projections).
@@ -186,6 +216,48 @@ mod tests {
             "tape attention deviates from reference by {}",
             tape_out.max_abs_diff(&reference)
         );
+    }
+
+    /// The fused all-windows path must agree with the per-window op chain in
+    /// both forward values and gradients (input and all four projections).
+    #[test]
+    fn fused_all_windows_matches_per_window_path() {
+        let (store, attn, mut rng) = setup(8, 2);
+        let rope = RopeTable::new(2, 2, 4, 0, 0);
+        let n_windows = 3;
+        let wlen = rope.seq_len();
+        let x = Tensor::randn(&[n_windows * wlen, 8], &mut rng);
+
+        let run = |fused: bool| -> (Tensor, Vec<Option<Tensor>>, Tensor) {
+            let mut tape = Tape::new();
+            let mut binding = Binding::new(&store);
+            let xv = tape.leaf(x.clone());
+            let y = if fused {
+                attn.forward_all_windows(&mut tape, &mut binding, &store, xv, &rope, n_windows)
+            } else {
+                let mut outs = Vec::new();
+                for w in 0..n_windows {
+                    let win = tape.slice_rows(xv, w * wlen, (w + 1) * wlen);
+                    outs.push(attn.forward(&mut tape, &mut binding, &store, win, &rope));
+                }
+                tape.concat_rows(&outs)
+            };
+            let sq = tape.mul(y, y);
+            let loss = tape.sum(sq);
+            let y_val = tape.value(y).clone();
+            let mut grads = tape.backward(loss);
+            let gx = grads.take(xv).unwrap();
+            (y_val, binding.collect_grads(&mut grads), gx)
+        };
+
+        let (y_f, g_f, gx_f) = run(true);
+        let (y_u, g_u, gx_u) = run(false);
+        assert!(y_f.max_abs_diff(&y_u) < 1e-5, "forward diff {}", y_f.max_abs_diff(&y_u));
+        assert!(gx_f.max_abs_diff(&gx_u) < 1e-5, "input grad diff {}", gx_f.max_abs_diff(&gx_u));
+        for lin in [attn.wq, attn.wk, attn.wv, attn.wo] {
+            let (a, b) = (g_f[lin.w.0].as_ref().unwrap(), g_u[lin.w.0].as_ref().unwrap());
+            assert!(a.max_abs_diff(b) < 1e-5, "weight grad diff {}", a.max_abs_diff(b));
+        }
     }
 
     /// Numerical gradcheck of the full attention block wrt the input.
