@@ -7,11 +7,18 @@
 //! Thread counts are switched in-process with `rayon::set_thread_override`
 //! (equivalent to launching with `AERIS_THREADS=n`); the kernels are
 //! bitwise-deterministic across counts, so every row measures identical work.
+//!
+//! Every timed repetition is recorded into an `aeris-obs` [`MetricSeries`]
+//! registered on a shared [`Tracer`], so besides the best-of summary in
+//! `BENCH_kernels.json` the full rep distributions export to
+//! `BENCH_kernels.prom` in Prometheus text format — the same exporter path
+//! the trainer and the serving engine use.
 
 use aeris_autodiff::{Tape, WindowAttnPlan};
 use aeris_core::{AerisConfig, AerisModel, TrainSample, Trainer, TrainerConfig};
 use aeris_earthsim::Grid;
 use aeris_nn::RopeTable;
+use aeris_obs::{MetricSeries, Tracer};
 use aeris_tensor::{matmul, matmul_nt, matmul_tn, Rng, Tensor};
 use std::time::Instant;
 
@@ -24,14 +31,18 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
-/// Best-of-`reps` seconds per call of `f`, after one warmup call.
-fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+/// Best-of-`reps` seconds per call of `f`, after one warmup call. Each timed
+/// rep is also recorded (in milliseconds) into `series` for the Prometheus
+/// export.
+fn time_best(reps: usize, series: &MetricSeries, mut f: impl FnMut()) -> f64 {
     f();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        series.record(secs * 1e3);
+        best = best.min(secs);
     }
     best
 }
@@ -44,6 +55,7 @@ struct GemmResult {
 }
 
 fn bench_gemm(
+    tracer: &Tracer,
     name: &'static str,
     dims: (usize, usize, usize),
     kernel: impl Fn(&Tensor, &Tensor) -> Tensor,
@@ -55,7 +67,8 @@ fn bench_gemm(
     let mut rows = Vec::new();
     for &t in &thread_counts() {
         rayon::set_thread_override(Some(t));
-        let secs = time_best(5, || {
+        let series = tracer.series(&format!("kernels_{name}_{t}t_ms"));
+        let secs = time_best(5, &series, || {
             std::hint::black_box(kernel(&a, &b));
         });
         rows.push((t, flops / secs / 1e9));
@@ -66,12 +79,14 @@ fn bench_gemm(
 
 fn main() {
     let mut rng = Rng::seed_from(42);
+    let tracer = Tracer::default();
     println!("AERIS kernel benchmark — threads swept: {:?}", thread_counts());
 
     // --- GEMM kernels (sizes above the parallel threshold) ---
     let s = 256;
     let gemms = vec![
         bench_gemm(
+            &tracer,
             "matmul",
             (s, s, s),
             matmul,
@@ -79,6 +94,7 @@ fn main() {
             Tensor::randn(&[s, s], &mut rng),
         ),
         bench_gemm(
+            &tracer,
             "matmul_nt",
             (s, s, s),
             matmul_nt,
@@ -86,6 +102,7 @@ fn main() {
             Tensor::randn(&[s, s], &mut rng),
         ),
         bench_gemm(
+            &tracer,
             "matmul_tn",
             (s, s, s),
             matmul_tn,
@@ -117,7 +134,8 @@ fn main() {
     let mut attn_rows = Vec::new();
     for &t in &thread_counts() {
         rayon::set_thread_override(Some(t));
-        let secs = time_best(5, || {
+        let series = tracer.series(&format!("kernels_window_attn_{t}t_ms"));
+        let secs = time_best(5, &series, || {
             let mut tape = Tape::new();
             let xv = tape.constant(x.clone());
             let wv: Vec<_> = ws.iter().map(|w| tape.constant(w.clone())).collect();
@@ -151,7 +169,8 @@ fn main() {
             })
             .collect();
         let batch: Vec<&TrainSample> = samples.iter().collect();
-        let secs = time_best(3, || {
+        let series = tracer.series(&format!("kernels_train_step_{t}t_ms"));
+        let secs = time_best(3, &series, || {
             std::hint::black_box(trainer.train_step(&mut model, &batch));
         });
         step_rows.push((t, secs * 1e3));
@@ -201,5 +220,7 @@ fn main() {
     ));
     out.push_str("}\n");
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json");
+    std::fs::write("BENCH_kernels.prom", tracer.prometheus_text())
+        .expect("write BENCH_kernels.prom");
+    println!("wrote BENCH_kernels.json and BENCH_kernels.prom");
 }

@@ -1,0 +1,31 @@
+//! # aeris-obs — observability for the AERIS runtimes
+//!
+//! Four pieces, layered:
+//!
+//! - [`tracer`]: the low-overhead, thread-shared span tracer. One [`Tracer`]
+//!   handle is cloned into every rank thread / serving worker; a span site is
+//!   `let _g = tracer.span(SpanCategory::Forward, rank).step(s).micro(m);`
+//!   and costs one relaxed atomic load when tracing is disabled.
+//! - [`metrics`]: [`MetricSeries`], thread-shared scalar distributions with a
+//!   lazily-sorted percentile cache and a one-lock [`MetricSeries::summary`].
+//! - exporters: [`chrome`] (Chrome-trace / Perfetto JSON of the per-rank
+//!   pipeline timeline) and [`prometheus`] (text exposition of span totals,
+//!   counters, and series summaries).
+//! - [`report`]: per-step [`StepBreakdown`]s and the measured-vs-modeled
+//!   [`MfuReport`], including the exact M = b·s·h/SP/WP byte-law check
+//!   against the runtime's traffic counters.
+
+pub mod chrome;
+pub mod metrics;
+pub mod prometheus;
+pub mod report;
+pub mod tracer;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace};
+pub use metrics::{MetricSeries, MetricSummary};
+pub use prometheus::prometheus_text;
+pub use report::{
+    mfu_report, step_breakdowns, CommBytes, LawCheck, MessageLaw, MfuInputs, MfuReport,
+    StepBreakdown,
+};
+pub use tracer::{verify_balanced, SpanCategory, SpanGuard, SpanRecord, Tracer};

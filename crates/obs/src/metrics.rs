@@ -1,0 +1,209 @@
+//! Thread-shared scalar metric series with cheap distribution queries.
+//!
+//! [`MetricSeries`] records scalar samples (latencies, batch sizes, queue
+//! depths, per-step millisecond timings, …) from any number of threads and
+//! answers count/mean/max/percentile queries. Percentiles run off a
+//! **lazily-sorted cache**: recording appends and marks the cache dirty; the
+//! first distribution query after a write sorts once, and every further
+//! query until the next write is O(1) — no per-query clone-and-sort.
+//! [`MetricSeries::summary`] computes the whole count/mean/p50/p95/p99/max
+//! block under a single lock acquisition, which is what the Prometheus
+//! exporter uses.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Samples {
+    /// Samples in record order.
+    values: Vec<f64>,
+    /// Sorted copy of `values`, rebuilt lazily when `dirty`.
+    sorted: Vec<f64>,
+    dirty: bool,
+    /// Running sum (mean in O(1)).
+    sum: f64,
+    /// Running maximum.
+    max: f64,
+}
+
+impl Samples {
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.values);
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
+            self.dirty = false;
+        }
+    }
+
+    /// Nearest-rank percentile over the (sorted) samples.
+    fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.sorted.len() as f64 - 1.0)).round() as usize;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+}
+
+/// A thread-shared series of scalar metric samples. Cloning shares the
+/// underlying series.
+#[derive(Clone, Default)]
+pub struct MetricSeries {
+    samples: Arc<Mutex<Samples>>,
+}
+
+/// The standard distribution block of one series, computed in a single lock
+/// acquisition by [`MetricSeries::summary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricSummary {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl std::fmt::Display for MetricSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+impl MetricSeries {
+    pub fn new() -> Self {
+        MetricSeries::default()
+    }
+
+    /// Append one sample.
+    pub fn record(&self, value: f64) {
+        let mut s = self.samples.lock();
+        s.values.push(value);
+        s.sum += value;
+        if s.values.len() == 1 || value > s.max {
+            s.max = value;
+        }
+        s.dirty = true;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.lock().values.len()
+    }
+
+    /// Arithmetic mean, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        let s = self.samples.lock();
+        if s.values.is_empty() {
+            return None;
+        }
+        Some(s.sum / s.values.len() as f64)
+    }
+
+    /// Largest sample, or `None` with no samples.
+    pub fn max(&self) -> Option<f64> {
+        let s = self.samples.lock();
+        if s.values.is_empty() {
+            return None;
+        }
+        Some(s.max)
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) by the nearest-rank method, or
+    /// `None` with no samples. Served from the lazily-sorted cache: only the
+    /// first query after a write pays a sort.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.samples.lock().percentile(p)
+    }
+
+    /// count/mean/p50/p95/p99/max in one lock acquisition, or `None` with no
+    /// samples.
+    pub fn summary(&self) -> Option<MetricSummary> {
+        let mut s = self.samples.lock();
+        if s.values.is_empty() {
+            return None;
+        }
+        s.ensure_sorted();
+        let n = s.sorted.len();
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
+            s.sorted[rank.min(n - 1)]
+        };
+        Some(MetricSummary {
+            count: n,
+            mean: s.sum / n as f64,
+            p50: at(50.0),
+            p95: at(95.0),
+            p99: at(99.0),
+            max: s.max,
+        })
+    }
+
+    /// Copy out the raw samples in record order.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.samples.lock().values.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_queries() {
+        let m = MetricSeries::new();
+        assert!(m.mean().is_none() && m.percentile(50.0).is_none() && m.max().is_none());
+        assert!(m.summary().is_none());
+        for v in [5.0, 1.0, 9.0, 3.0] {
+            m.record(v);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean().unwrap() - 4.5).abs() < 1e-12);
+        assert_eq!(m.max().unwrap(), 9.0);
+        assert_eq!(m.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(m.percentile(100.0).unwrap(), 9.0);
+        let med = m.percentile(50.0).unwrap();
+        assert!(med == 3.0 || med == 5.0, "median {med}");
+        // Shared across clones.
+        let m2 = m.clone();
+        m2.record(2.0);
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn sorted_cache_tracks_interleaved_writes() {
+        let m = MetricSeries::new();
+        m.record(10.0);
+        assert_eq!(m.percentile(50.0).unwrap(), 10.0);
+        // A write after a query must invalidate the cache.
+        m.record(1.0);
+        m.record(2.0);
+        assert_eq!(m.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(m.percentile(100.0).unwrap(), 10.0);
+        // Record order is preserved regardless of the sorted cache.
+        assert_eq!(m.snapshot(), vec![10.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_matches_individual_queries() {
+        let m = MetricSeries::new();
+        for v in 0..100 {
+            m.record(v as f64);
+        }
+        let s = m.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - m.mean().unwrap()).abs() < 1e-12);
+        assert_eq!(s.p50, m.percentile(50.0).unwrap());
+        assert_eq!(s.p95, m.percentile(95.0).unwrap());
+        assert_eq!(s.p99, m.percentile(99.0).unwrap());
+        assert_eq!(s.max, 99.0);
+        assert!(!format!("{s}").is_empty());
+    }
+}

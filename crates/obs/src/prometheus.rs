@@ -1,0 +1,140 @@
+//! Prometheus text-exposition export.
+//!
+//! Renders three families from one tracer snapshot:
+//!
+//! - `aeris_spans_total{category=...}` / `aeris_span_seconds_total{category=...}`
+//!   — span counts and cumulative durations per category;
+//! - `aeris_<counter>_total` — the tracer's named counters;
+//! - per registered [`MetricSeries`]: a `summary`-style block with
+//!   `_count`, `_sum`, and `{quantile="0.5|0.95|0.99"}` sample lines, all
+//!   computed in one lock acquisition via [`MetricSeries::summary`].
+//!
+//! Output is deterministic (categories in declaration order, counters and
+//! series sorted by name) so tests can assert on exact lines.
+
+use crate::metrics::MetricSeries;
+use crate::tracer::{SpanCategory, SpanRecord};
+
+/// Sanitize a user-supplied name into a Prometheus metric name:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, everything else mapped to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render the Prometheus text format for a tracer snapshot.
+pub fn prometheus_text(
+    spans: &[SpanRecord],
+    counters: &[(String, u64)],
+    series: &[(String, MetricSeries)],
+) -> String {
+    let mut out = String::new();
+
+    // Span totals per category.
+    out.push_str("# TYPE aeris_spans_total counter\n");
+    let mut any = false;
+    for cat in SpanCategory::ALL {
+        let n = spans.iter().filter(|s| s.category == cat).count();
+        if n > 0 {
+            out.push_str(&format!("aeris_spans_total{{category=\"{}\"}} {n}\n", cat.name()));
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str("aeris_spans_total 0\n");
+    }
+    out.push_str("# TYPE aeris_span_seconds_total counter\n");
+    for cat in SpanCategory::ALL {
+        let ns: u64 = spans.iter().filter(|s| s.category == cat).map(|s| s.dur_ns()).sum();
+        if spans.iter().any(|s| s.category == cat) {
+            out.push_str(&format!(
+                "aeris_span_seconds_total{{category=\"{}\"}} {:.9}\n",
+                cat.name(),
+                ns as f64 / 1e9
+            ));
+        }
+    }
+
+    // Named counters (BTreeMap order upstream; sort defensively anyway).
+    let mut counters: Vec<_> = counters.to_vec();
+    counters.sort();
+    for (name, v) in &counters {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE aeris_{name}_total counter\naeris_{name}_total {v}\n"));
+    }
+
+    // Metric-series summaries.
+    let mut series: Vec<_> = series.to_vec();
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, s) in &series {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE aeris_{name} summary\n"));
+        match s.summary() {
+            Some(sum) => {
+                out.push_str(&format!(
+                    "aeris_{name}{{quantile=\"0.5\"}} {}\naeris_{name}{{quantile=\"0.95\"}} {}\n\
+                     aeris_{name}{{quantile=\"0.99\"}} {}\naeris_{name}_count {}\n\
+                     aeris_{name}_sum {}\n",
+                    sum.p50,
+                    sum.p95,
+                    sum.p99,
+                    sum.count,
+                    sum.mean * sum.count as f64
+                ));
+            }
+            None => {
+                out.push_str(&format!("aeris_{name}_count 0\naeris_{name}_sum 0\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{SpanCategory, Tracer};
+
+    #[test]
+    fn renders_spans_counters_and_series() {
+        let t = Tracer::enabled();
+        {
+            let _f = t.span(SpanCategory::Forward, 0);
+        }
+        {
+            let _f = t.span(SpanCategory::Forward, 1);
+        }
+        t.incr("cache hits", 5);
+        let s = t.series("latency_ms");
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        let text = t.prometheus_text();
+        assert!(text.contains("aeris_spans_total{category=\"forward\"} 2"));
+        assert!(text.contains("aeris_cache_hits_total 5"), "{text}");
+        assert!(text.contains("aeris_latency_ms_count 4"));
+        assert!(text.contains("aeris_latency_ms_sum 10"));
+        assert!(text.contains("aeris_latency_ms{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn empty_tracer_renders_zero_totals() {
+        let t = Tracer::enabled();
+        let text = t.prometheus_text();
+        assert!(text.contains("aeris_spans_total 0"));
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("p2p/bytes sent"), "p2p_bytes_sent");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+}

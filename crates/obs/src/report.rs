@@ -1,0 +1,380 @@
+//! The measured-vs-modeled step report.
+//!
+//! Aggregates a recorded trace into per-step [`StepBreakdown`]s (wall time
+//! plus cumulative per-category span seconds), derives a measured MFU, and
+//! prints it side by side with a [`Prediction`] from `aeris-perfmodel` for
+//! the same configuration — the reproduction of the paper's Table III
+//! methodology, where the analytical model is checked against what the run
+//! actually did.
+//!
+//! The report also carries the paper's **message-size law**
+//! `M = b·s·h / SP / WP` (§VI-C): [`MessageLaw`] computes both `M` and the
+//! exact all-to-all byte total the SWiPe runtime must produce for a given
+//! topology, and [`LawCheck`] compares it against the measured per-class
+//! traffic — as an *exact* integer equality, not a tolerance.
+
+use crate::tracer::{SpanCategory, SpanRecord};
+pub use aeris_perfmodel::throughput::Prediction;
+
+/// Measured communication volume per class, in bytes. A plain carrier struct
+/// so runtimes (e.g. `swipe::comm::Traffic`) can hand their totals to the
+/// report without `aeris-obs` depending on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommBytes {
+    pub p2p: u64,
+    pub alltoall: u64,
+    pub allreduce: u64,
+    pub allgather: u64,
+    pub broadcast: u64,
+}
+
+impl CommBytes {
+    pub fn total(&self) -> u64 {
+        self.p2p + self.alltoall + self.allreduce + self.allgather + self.broadcast
+    }
+}
+
+/// One training step, aggregated from its spans.
+#[derive(Clone, Debug)]
+pub struct StepBreakdown {
+    pub step: u64,
+    /// Wall-clock span of the step: latest end − earliest begin over all
+    /// spans tagged with this step, across all ranks.
+    pub wall_s: f64,
+    /// Cumulative busy seconds and span count per category, summed over
+    /// ranks (so a category can exceed `wall_s` when ranks overlap).
+    pub by_category: Vec<(SpanCategory, f64, usize)>,
+}
+
+impl StepBreakdown {
+    /// Cumulative seconds in one category.
+    pub fn seconds(&self, cat: SpanCategory) -> f64 {
+        self.by_category.iter().find(|(c, _, _)| *c == cat).map_or(0.0, |(_, s, _)| *s)
+    }
+
+    /// Span count in one category.
+    pub fn count(&self, cat: SpanCategory) -> usize {
+        self.by_category.iter().find(|(c, _, _)| *c == cat).map_or(0, |(_, _, n)| *n)
+    }
+}
+
+/// Group step-tagged spans into per-step breakdowns, ordered by step.
+/// Untagged spans are ignored.
+pub fn step_breakdowns(spans: &[SpanRecord]) -> Vec<StepBreakdown> {
+    use std::collections::BTreeMap;
+    let mut steps: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        if let Some(step) = s.step {
+            steps.entry(step).or_default().push(s);
+        }
+    }
+    steps
+        .into_iter()
+        .map(|(step, spans)| {
+            let begin = spans.iter().map(|s| s.begin_ns).min().unwrap_or(0);
+            let end = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+            let mut by_category = Vec::new();
+            for cat in SpanCategory::ALL {
+                let matching: Vec<_> = spans.iter().filter(|s| s.category == cat).collect();
+                if !matching.is_empty() {
+                    let secs: f64 =
+                        matching.iter().map(|s| s.dur_ns() as f64 / 1e9).sum();
+                    by_category.push((cat, secs, matching.len()));
+                }
+            }
+            StepBreakdown { step, wall_s: (end - begin) as f64 / 1e9, by_category }
+        })
+        .collect()
+}
+
+/// The paper's message-size law for one topology: `M = b·s·h / SP / WP`
+/// elements per all-to-all message (b = 1 microbatch per instance), plus the
+/// exact byte total the SWiPe runtime's Ulysses exchanges must record.
+#[derive(Clone, Copy, Debug)]
+pub struct MessageLaw {
+    /// Sequence length s (tokens).
+    pub tokens: u64,
+    /// Hidden dim h.
+    pub dim: u64,
+    /// Sequence-parallel degree.
+    pub sp: u64,
+    /// Window-parallel degree (A×B).
+    pub wp: u64,
+    /// Data-parallel degree.
+    pub dp: u64,
+    /// Microbatches per step (gradient accumulation).
+    pub gas: u64,
+    /// Transformer blocks executing Ulysses all-to-alls.
+    pub blocks: u64,
+    /// Optimizer steps traced.
+    pub steps: u64,
+}
+
+impl MessageLaw {
+    /// `M` in elements: tokens·dim / SP / WP.
+    pub fn m_elems(&self) -> u64 {
+        self.tokens * self.dim / (self.sp * self.wp)
+    }
+
+    /// `M` in bytes (f32 activations in this reproduction).
+    pub fn m_bytes(&self) -> u64 {
+        4 * self.m_elems()
+    }
+
+    /// Exact all-to-all bytes the whole run must record. Per block, per
+    /// microbatch, each of the SP ranks in each of the WP groups ships its
+    /// `rows×cols` slice (rows = tokens/(WP·SP), cols = dim/SP) to the
+    /// `SP−1` peers **eight** times — QKV scatter (×3) + attention-output
+    /// gather (×1) forward, and the mirrored gather (×1) + scatter (×3)
+    /// backward — with the rank's own chunk staying local. Equivalently
+    /// `8 · M_bytes · (SP−1)/SP` per block-microbatch summed over the
+    /// WP·SP ranks of one instance, times blocks · DP · GAS · steps.
+    pub fn expected_alltoall_bytes(&self) -> u64 {
+        let rows = self.tokens / (self.wp * self.sp);
+        let cols = self.dim / self.sp;
+        8 * rows * cols * (self.sp - 1) * 4 * self.blocks * self.wp * self.sp * self.dp * self.gas
+            * self.steps
+    }
+
+    /// Check the law against measured traffic: exact integer equality.
+    pub fn check(&self, measured_alltoall_bytes: u64) -> LawCheck {
+        LawCheck {
+            m_bytes: self.m_bytes(),
+            expected_alltoall_bytes: self.expected_alltoall_bytes(),
+            measured_alltoall_bytes,
+            exact: self.expected_alltoall_bytes() == measured_alltoall_bytes,
+        }
+    }
+}
+
+/// Outcome of checking M = b·s·h/SP/WP against the byte counters.
+#[derive(Clone, Copy, Debug)]
+pub struct LawCheck {
+    /// M per message, bytes.
+    pub m_bytes: u64,
+    /// Bytes the law predicts for the whole traced run.
+    pub expected_alltoall_bytes: u64,
+    /// Bytes the runtime's `Traffic` counters recorded.
+    pub measured_alltoall_bytes: u64,
+    /// Exact equality (no tolerance).
+    pub exact: bool,
+}
+
+/// Everything the report needs.
+pub struct MfuInputs<'a> {
+    /// The recorded trace (step-tagged spans drive the breakdowns).
+    pub spans: &'a [SpanRecord],
+    /// Measured per-class communication bytes for the traced run.
+    pub comm: CommBytes,
+    /// Message-size law for the topology, when checking it.
+    pub law: Option<MessageLaw>,
+    /// Model FLOPs per optimizer step (all microbatches, fwd+bwd).
+    pub flops_per_step: f64,
+    /// Ranks in the run.
+    pub ranks: usize,
+    /// Peak FLOP/s of one rank's hardware share (for measured MFU).
+    pub peak_flops_per_rank: f64,
+    /// The analytical model's prediction for the same configuration.
+    pub predicted: Option<Prediction>,
+}
+
+/// The assembled measured-vs-modeled report. `Display` prints the
+/// side-by-side table.
+#[derive(Clone, Debug)]
+pub struct MfuReport {
+    pub steps: Vec<StepBreakdown>,
+    /// Mean measured wall seconds per step.
+    pub measured_step_s: f64,
+    /// Measured sustained FLOP/s.
+    pub measured_flops: f64,
+    /// Measured MFU vs `ranks × peak_flops_per_rank`.
+    pub measured_mfu: f64,
+    pub comm: CommBytes,
+    pub law: Option<LawCheck>,
+    pub predicted: Option<Prediction>,
+}
+
+/// Build the report from a trace.
+pub fn mfu_report(inputs: &MfuInputs<'_>) -> MfuReport {
+    let steps = step_breakdowns(inputs.spans);
+    let measured_step_s = if steps.is_empty() {
+        0.0
+    } else {
+        steps.iter().map(|s| s.wall_s).sum::<f64>() / steps.len() as f64
+    };
+    let measured_flops =
+        if measured_step_s > 0.0 { inputs.flops_per_step / measured_step_s } else { 0.0 };
+    let peak = inputs.ranks as f64 * inputs.peak_flops_per_rank;
+    let measured_mfu = if peak > 0.0 { measured_flops / peak } else { 0.0 };
+    MfuReport {
+        steps,
+        measured_step_s,
+        measured_flops,
+        measured_mfu,
+        comm: inputs.comm,
+        law: inputs.law.map(|l| l.check(inputs.comm.alltoall)),
+        predicted: inputs.predicted,
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+impl std::fmt::Display for MfuReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== AERIS step report: measured vs modeled ==")?;
+        writeln!(f, "steps traced: {}", self.steps.len())?;
+        // Per-category busy seconds averaged over steps.
+        if !self.steps.is_empty() {
+            writeln!(f, "-- mean busy seconds per step (summed over ranks) --")?;
+            for cat in SpanCategory::ALL {
+                let tot: f64 = self.steps.iter().map(|s| s.seconds(cat)).sum();
+                let n: usize = self.steps.iter().map(|s| s.count(cat)).sum();
+                if n > 0 {
+                    writeln!(
+                        f,
+                        "  {:<15} {:>10.6} s  ({} spans)",
+                        cat.name(),
+                        tot / self.steps.len() as f64,
+                        n
+                    )?;
+                }
+            }
+        }
+        writeln!(f, "-- communication bytes (measured) --")?;
+        writeln!(f, "  p2p        {:>14}", human_bytes(self.comm.p2p))?;
+        writeln!(f, "  alltoall   {:>14}", human_bytes(self.comm.alltoall))?;
+        writeln!(f, "  allreduce  {:>14}", human_bytes(self.comm.allreduce))?;
+        writeln!(f, "  allgather  {:>14}", human_bytes(self.comm.allgather))?;
+        writeln!(f, "  broadcast  {:>14}", human_bytes(self.comm.broadcast))?;
+        if let Some(law) = &self.law {
+            writeln!(f, "-- message-size law M = b·s·h/SP/WP --")?;
+            writeln!(f, "  M per message        {:>14}", human_bytes(law.m_bytes))?;
+            writeln!(
+                f,
+                "  alltoall expected    {:>14}  ({} B)",
+                human_bytes(law.expected_alltoall_bytes),
+                law.expected_alltoall_bytes
+            )?;
+            writeln!(
+                f,
+                "  alltoall measured    {:>14}  ({} B)",
+                human_bytes(law.measured_alltoall_bytes),
+                law.measured_alltoall_bytes
+            )?;
+            writeln!(f, "  exact match          {:>14}", if law.exact { "PASS" } else { "FAIL" })?;
+        }
+        writeln!(f, "-- step time / MFU --")?;
+        match &self.predicted {
+            Some(p) => {
+                writeln!(f, "  {:<22} {:>14} {:>14}", "", "measured", "modeled")?;
+                writeln!(
+                    f,
+                    "  {:<22} {:>12.6} s {:>12.6} s",
+                    "step time", self.measured_step_s, p.step_time_s
+                )?;
+                writeln!(
+                    f,
+                    "  {:<22} {:>11.3e} {:>13.3e}",
+                    "sustained FLOP/s", self.measured_flops, p.sustained_flops
+                )?;
+                writeln!(
+                    f,
+                    "  {:<22} {:>13.2}% {:>13.2}%",
+                    "MFU",
+                    100.0 * self.measured_mfu,
+                    100.0 * p.mfu
+                )?;
+            }
+            None => {
+                writeln!(f, "  step time  {:>12.6} s", self.measured_step_s)?;
+                writeln!(f, "  MFU        {:>12.2}%", 100.0 * self.measured_mfu)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{SpanCategory, Tracer};
+
+    #[test]
+    fn message_law_small_topology() {
+        // tokens=64, dim=8, sp=2, wp=2, dp=1, gas=2, blocks=2, steps=3.
+        let law = MessageLaw { tokens: 64, dim: 8, sp: 2, wp: 2, dp: 1, gas: 2, blocks: 2, steps: 3 };
+        assert_eq!(law.m_elems(), 64 * 8 / 4);
+        assert_eq!(law.m_bytes(), 512);
+        // rows=16, cols=4 → 8·16·4·1·4 = 2048 per rank-microbatch-block,
+        // × blocks(2)·wp(2)·sp(2)·dp(1)·gas(2)·steps(3) = 48 → 98304.
+        assert_eq!(law.expected_alltoall_bytes(), 98_304);
+        assert!(law.check(98_304).exact);
+        assert!(!law.check(98_303).exact);
+    }
+
+    #[test]
+    fn breakdowns_group_by_step_and_category() {
+        let t = Tracer::enabled();
+        for step in 0..2u64 {
+            for micro in 0..2u64 {
+                let _f = t.span(SpanCategory::Forward, 0).step(step).micro(micro);
+                let _a = t.span(SpanCategory::AllToAll, 0).step(step).micro(micro);
+            }
+            let _o = t.span(SpanCategory::OptimizerStep, 0).step(step);
+        }
+        // An untagged span must be ignored.
+        {
+            let _x = t.span(SpanCategory::Broadcast, 0);
+        }
+        let spans = t.snapshot_spans();
+        let steps = step_breakdowns(&spans);
+        assert_eq!(steps.len(), 2);
+        for b in &steps {
+            assert_eq!(b.count(SpanCategory::Forward), 2);
+            assert_eq!(b.count(SpanCategory::AllToAll), 2);
+            assert_eq!(b.count(SpanCategory::OptimizerStep), 1);
+            assert_eq!(b.count(SpanCategory::Broadcast), 0);
+            assert!(b.wall_s >= b.seconds(SpanCategory::OptimizerStep));
+        }
+    }
+
+    #[test]
+    fn report_renders_with_and_without_prediction() {
+        let t = Tracer::enabled();
+        {
+            let _f = t.span(SpanCategory::Forward, 0).step(0);
+        }
+        let spans = t.snapshot_spans();
+        let comm = CommBytes { alltoall: 98_304, ..Default::default() };
+        let law =
+            MessageLaw { tokens: 64, dim: 8, sp: 2, wp: 2, dp: 1, gas: 2, blocks: 2, steps: 3 };
+        let report = mfu_report(&MfuInputs {
+            spans: &spans,
+            comm,
+            law: Some(law),
+            flops_per_step: 1e9,
+            ranks: 4,
+            peak_flops_per_rank: 1e12,
+            predicted: None,
+        });
+        assert_eq!(report.steps.len(), 1);
+        assert!(report.law.unwrap().exact);
+        assert!(report.measured_mfu > 0.0);
+        let text = format!("{report}");
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("step time"));
+    }
+}

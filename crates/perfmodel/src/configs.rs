@@ -38,6 +38,12 @@ pub struct AerisPerfConfig {
     pub nodes: usize,
     /// Table III run: data-parallel degree.
     pub dp: usize,
+    /// Sequence length in tokens (ERA5: 720×1440 at patch 1×1). A field
+    /// rather than a global so toy-scale runs (tests, the MFU report for
+    /// thread-rank trainer traces) can be predicted with the same model.
+    pub seq_tokens: usize,
+    /// Prognostic channels.
+    pub channels: usize,
 }
 
 impl AerisPerfConfig {
@@ -83,6 +89,8 @@ pub const PAPER_CONFIGS: [AerisPerfConfig; 5] = [
         window: 60,
         nodes: 1920,
         dp: 40,
+        seq_tokens: SEQ_TOKENS,
+        channels: CHANNELS,
     },
     AerisPerfConfig {
         name: "13B",
@@ -98,6 +106,8 @@ pub const PAPER_CONFIGS: [AerisPerfConfig; 5] = [
         window: 60,
         nodes: 7680,
         dp: 30,
+        seq_tokens: SEQ_TOKENS,
+        channels: CHANNELS,
     },
     AerisPerfConfig {
         name: "40B",
@@ -113,6 +123,8 @@ pub const PAPER_CONFIGS: [AerisPerfConfig; 5] = [
         window: 60,
         nodes: 10_080,
         dp: 14,
+        seq_tokens: SEQ_TOKENS,
+        channels: CHANNELS,
     },
     AerisPerfConfig {
         name: "80B",
@@ -128,6 +140,8 @@ pub const PAPER_CONFIGS: [AerisPerfConfig; 5] = [
         window: 60,
         nodes: 8320,
         dp: 5,
+        seq_tokens: SEQ_TOKENS,
+        channels: CHANNELS,
     },
     AerisPerfConfig {
         name: "26B(L)",
@@ -143,6 +157,8 @@ pub const PAPER_CONFIGS: [AerisPerfConfig; 5] = [
         window: 60,
         nodes: 1008,
         dp: 2,
+        seq_tokens: SEQ_TOKENS,
+        channels: CHANNELS,
     },
 ];
 

@@ -2,7 +2,7 @@
 //! transformer model of the authors' prior work, adapted to the windowed
 //! Swin diffusion transformer).
 
-use crate::configs::{AerisPerfConfig, CHANNELS, SEQ_TOKENS};
+use crate::configs::AerisPerfConfig;
 
 /// Parameters of one transformer block: QKVO projections `4d²`, fused SwiGLU
 /// `3·d·f`, the AdaLN modulation head `d·6d`, two RMSNorm gains, biases.
@@ -15,22 +15,23 @@ pub fn block_params(dim: usize, ffn: usize) -> f64 {
 /// Total model parameters.
 pub fn params_count(cfg: &AerisPerfConfig) -> f64 {
     let d = cfg.dim as f64;
-    let in_ch = (2 * CHANNELS + 3) as f64; // [x_t, x_{i-1}, forcings]
+    let in_ch = (2 * cfg.channels + 3) as f64; // [x_t, x_{i-1}, forcings]
     let embed = in_ch * d + d;
-    let decode = d * CHANNELS as f64 + CHANNELS as f64;
+    let decode = d * cfg.channels as f64 + cfg.channels as f64;
     let time = d * d + d; // shared conditioner trunk
     cfg.blocks as f64 * block_params(cfg.dim, cfg.ffn) + embed + decode + time
 }
 
-/// Forward FLOPs per sample (720×1440 tokens): projections `8·s·d²`, window
-/// attention `4·s·w·d` (scores + AV with window size `w`), SwiGLU `6·s·d·f`.
+/// Forward FLOPs per sample (`cfg.seq_tokens` tokens): projections `8·s·d²`,
+/// window attention `4·s·w·d` (scores + AV with window size `w`), SwiGLU
+/// `6·s·d·f`.
 pub fn forward_flops_per_sample(cfg: &AerisPerfConfig) -> f64 {
-    let s = SEQ_TOKENS as f64;
+    let s = cfg.seq_tokens as f64;
     let d = cfg.dim as f64;
     let f = cfg.ffn as f64;
     let w = (cfg.window * cfg.window) as f64;
     let per_block = s * (8.0 * d * d + 4.0 * w * d + 6.0 * d * f);
-    let embed_decode = 2.0 * s * d * ((2 * CHANNELS + 3) as f64 + CHANNELS as f64);
+    let embed_decode = 2.0 * s * d * ((2 * cfg.channels + 3) as f64 + cfg.channels as f64);
     cfg.blocks as f64 * per_block + embed_decode
 }
 

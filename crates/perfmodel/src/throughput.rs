@@ -1,7 +1,7 @@
 //! The timing model: kernel efficiency, pipeline bubble, communication and
 //! optimizer costs → sustained/peak FLOPS, MFU, samples/s (Table III).
 
-use crate::configs::{AerisPerfConfig, SEQ_TOKENS};
+use crate::configs::AerisPerfConfig;
 use crate::flops::{forward_flops_per_sample, params_count, train_flops_per_sample};
 use crate::machine::MachineSpec;
 
@@ -77,7 +77,7 @@ pub fn predict(
     let tiles = machine.tiles(nodes);
 
     // Shape-dependent kernel efficiency.
-    let x = SEQ_TOKENS as f64 / (wp * sp) as f64; // tokens per tile per microbatch
+    let x = cfg.seq_tokens as f64 / (wp * sp) as f64; // tokens per tile per microbatch
     let kernel_eff = eff.eff_max
         * (cfg.dim as f64 / (cfg.dim as f64 + eff.dim_half))
         * (x / (x + eff.tokens_half));

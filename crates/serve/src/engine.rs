@@ -34,7 +34,8 @@ use crate::api::{ForecastRequest, ForecastResponse, Forcings, ServeConfig, Serve
 use crate::batcher::TaskQueue;
 use crate::cache::{content_hash, CacheKey, CacheStats, RolloutCache};
 use aeris_core::{EnsembleForecast, Forecaster, StepJob};
-use aeris_swipe::{EventLog, EventRecord, MetricSeries};
+use aeris_obs::{MetricSeries, SpanCategory, Tracer};
+use aeris_swipe::{EventLog, EventRecord};
 use aeris_tensor::{Rng, Tensor};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -69,6 +70,9 @@ pub enum ServeEvent {
 }
 
 /// The engine's operational metric series (shared handles; cloning is cheap).
+/// The series are registered with the engine's [`Tracer`], so
+/// `tracer.prometheus_text()` exports them alongside span totals and
+/// counters — one exporter path for trainer, server, and benches.
 #[derive(Clone, Default)]
 pub struct ServeMetrics {
     /// Per-request submission-to-completion latency, milliseconds.
@@ -77,6 +81,17 @@ pub struct ServeMetrics {
     pub batch_size: MetricSeries,
     /// Pending member-steps observed by workers after forming each batch.
     pub queue_depth: MetricSeries,
+}
+
+impl ServeMetrics {
+    /// Series registered under stable names in `tracer`'s exporter registry.
+    fn registered(tracer: &Tracer) -> ServeMetrics {
+        ServeMetrics {
+            latency_ms: tracer.series("serve_latency_ms"),
+            batch_size: tracer.series("serve_batch_size"),
+            queue_depth: tracer.series("serve_queue_depth"),
+        }
+    }
 }
 
 /// Terminal-state marker plus per-request result assembly.
@@ -209,6 +224,7 @@ struct EngineShared {
     cache: RolloutCache,
     events: EventLog<ServeEvent>,
     metrics: ServeMetrics,
+    tracer: Tracer,
     accepting: AtomicBool,
     outstanding: Mutex<usize>,
     drained: Condvar,
@@ -294,7 +310,17 @@ impl EngineShared {
 fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
     let fc = Arc::clone(&shared.forecaster);
     let tokens = fc.model.cfg.tokens();
-    while let Some(batch) = shared.queue.next_batch(shared.cfg.max_batch, shared.cfg.max_wait) {
+    loop {
+        // The assembly span covers the blocking wait for work: its duration
+        // is the micro-batcher's gather window plus any idle time, which is
+        // exactly the "why is the worker not forecasting" question.
+        let batch = {
+            let _asm = shared.tracer.span(SpanCategory::BatchAssembly, worker);
+            match shared.queue.next_batch(shared.cfg.max_batch, shared.cfg.max_wait) {
+                Some(b) => b,
+                None => break,
+            }
+        };
         shared.metrics.queue_depth.record(shared.queue.depth() as f64);
         // Shed tasks of already-resolved requests and expire deadlines.
         let now = Instant::now();
@@ -326,6 +352,11 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
         let forcings: Vec<Tensor> =
             live.iter().map(|t| t.req.forcings.at(tokens, t.next_step)).collect();
         let outs = {
+            let _fwd = shared
+                .tracer
+                .span(SpanCategory::Forward, worker)
+                .label("forecast_step_batch")
+                .micro(live.len() as u64);
             let mut jobs: Vec<StepJob<'_>> = live
                 .iter_mut()
                 .zip(&forcings)
@@ -371,15 +402,30 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Spin up the worker pool around a shared forecaster.
+    /// Spin up the worker pool around a shared forecaster (tracing disabled;
+    /// span sites cost one atomic load).
     pub fn start(forecaster: Arc<Forecaster>, cfg: ServeConfig) -> ServeEngine {
+        ServeEngine::start_traced(forecaster, cfg, Tracer::default())
+    }
+
+    /// Spin up the worker pool sharing an externally owned [`Tracer`]:
+    /// admission, cache lookups, batch assembly, and batched model steps emit
+    /// spans (request id in the `step` tag, member in `micro`); cache
+    /// hit/miss counters and the [`ServeMetrics`] series export through the
+    /// tracer's Prometheus path.
+    pub fn start_traced(
+        forecaster: Arc<Forecaster>,
+        cfg: ServeConfig,
+        tracer: Tracer,
+    ) -> ServeEngine {
         let shared = Arc::new(EngineShared {
             forecaster,
             cfg,
             queue: TaskQueue::new(),
             cache: RolloutCache::new(cfg.cache_bytes),
             events: EventLog::new(),
-            metrics: ServeMetrics::default(),
+            metrics: ServeMetrics::registered(&tracer),
+            tracer,
             accepting: AtomicBool::new(true),
             outstanding: Mutex::new(0),
             drained: Condvar::new(),
@@ -398,6 +444,12 @@ impl ServeEngine {
         ServeEngine { shared, workers }
     }
 
+    /// The tracer the engine records through (disabled no-op tracer unless
+    /// started via [`ServeEngine::start_traced`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
     /// Validate, admit, and enqueue a request. Returns a [`Ticket`] the
     /// client blocks on; every admission failure is a typed error.
     pub fn submit(&self, request: ForecastRequest) -> Result<Ticket, ServeError> {
@@ -407,6 +459,7 @@ impl ServeEngine {
             return Err(ServeError::Shutdown);
         }
         self.validate(&request)?;
+        let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
         // Admission control: bounded outstanding requests, fail-fast.
         {
             let mut g = shared.outstanding.lock();
@@ -420,6 +473,7 @@ impl ServeEngine {
             *g += 1;
         }
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let _adm = adm.step(id);
         let req = Arc::new(RequestState::new(id, &request));
         shared.events.record(
             CLIENT_ACTOR,
@@ -439,18 +493,29 @@ impl ServeEngine {
                 states: Vec::with_capacity(req.steps),
                 cache_hits: 0,
             };
-            while task.next_step < req.steps {
-                let key = shared.cache_key(&req, m, task.next_step + 1);
-                match shared.cache.get(&key) {
-                    Some(hit) => {
-                        task.rng = Rng::restore(hit.rng);
-                        task.x = Arc::clone(&hit.state);
-                        task.states.push(hit.state);
-                        task.next_step += 1;
-                        task.cache_hits += 1;
+            {
+                let _lookup = shared
+                    .tracer
+                    .span(SpanCategory::CacheLookup, CLIENT_ACTOR)
+                    .step(id)
+                    .micro(m as u64);
+                while task.next_step < req.steps {
+                    let key = shared.cache_key(&req, m, task.next_step + 1);
+                    match shared.cache.get(&key) {
+                        Some(hit) => {
+                            task.rng = Rng::restore(hit.rng);
+                            task.x = Arc::clone(&hit.state);
+                            task.states.push(hit.state);
+                            task.next_step += 1;
+                            task.cache_hits += 1;
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
+            }
+            shared.tracer.incr("serve_cache_hits", task.cache_hits as u64);
+            if task.next_step < req.steps {
+                shared.tracer.incr("serve_cache_misses", 1);
             }
             if task.cache_hits > 0 {
                 shared.events.record(

@@ -22,6 +22,7 @@
 
 use crate::events::{EventLog, FaultEvent};
 use crate::fault::{FaultPlan, MessageFault};
+use aeris_obs::{CommBytes, SpanCategory, SpanGuard, Tracer};
 use aeris_tensor::Tensor;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -134,6 +135,7 @@ struct WorldInner {
     config: CommConfig,
     plan: Option<FaultPlan>,
     events: EventLog,
+    tracer: Tracer,
     dead: Vec<AtomicBool>,
     /// Communication operations completed per rank (drives mid-step crash
     /// faults and lets tests aim a crash at a specific point in a run).
@@ -162,6 +164,48 @@ impl TrafficReport {
     pub fn rank_total(&self, rank: usize, class: CommClass) -> u64 {
         self.per_rank[rank].get(class_name(class)).copied().unwrap_or(0)
     }
+
+    /// Per-class totals as the plain byte carrier the `aeris-obs` MFU report
+    /// consumes.
+    pub fn comm_bytes(&self) -> CommBytes {
+        CommBytes {
+            p2p: self.total(CommClass::P2p),
+            alltoall: self.total(CommClass::AllToAll),
+            allreduce: self.total(CommClass::AllReduce),
+            allgather: self.total(CommClass::AllGather),
+            broadcast: self.total(CommClass::Broadcast),
+        }
+    }
+
+    /// Pretty-print the per-rank × per-class traffic table (bytes), with a
+    /// totals row. Deterministic layout, suitable for example output and
+    /// golden assertions.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>6}", "rank"));
+        for &c in &CLASSES {
+            out.push_str(&format!(" {:>14}", class_name(c)));
+        }
+        out.push_str(&format!(" {:>14}\n", "total"));
+        let mut grand = 0u64;
+        for (rank, _) in self.per_rank.iter().enumerate() {
+            out.push_str(&format!("{rank:>6}"));
+            let mut row_total = 0u64;
+            for &c in &CLASSES {
+                let b = self.rank_total(rank, c);
+                row_total += b;
+                out.push_str(&format!(" {b:>14}"));
+            }
+            grand += row_total;
+            out.push_str(&format!(" {row_total:>14}\n"));
+        }
+        out.push_str(&format!("{:>6}", "all"));
+        for &c in &CLASSES {
+            out.push_str(&format!(" {:>14}", self.total(c)));
+        }
+        out.push_str(&format!(" {grand:>14}\n"));
+        out
+    }
 }
 
 fn class_name(c: CommClass) -> &'static str {
@@ -171,6 +215,17 @@ fn class_name(c: CommClass) -> &'static str {
         CommClass::AllReduce => "allreduce",
         CommClass::AllGather => "allgather",
         CommClass::Broadcast => "broadcast",
+    }
+}
+
+/// The span category a traffic class traces as.
+fn class_category(c: CommClass) -> SpanCategory {
+    match c {
+        CommClass::P2p => SpanCategory::P2p,
+        CommClass::AllToAll => SpanCategory::AllToAll,
+        CommClass::AllReduce => SpanCategory::AllReduce,
+        CommClass::AllGather => SpanCategory::AllGather,
+        CommClass::Broadcast => SpanCategory::Broadcast,
     }
 }
 
@@ -186,8 +241,20 @@ impl World {
     }
 
     /// Create a world with explicit timeout policy and an optional fault
-    /// plan.
+    /// plan (tracing disabled: every span site costs one atomic load).
     pub fn with_config(n: usize, config: CommConfig, plan: Option<FaultPlan>) -> Self {
+        World::with_tracer(n, config, plan, Tracer::default())
+    }
+
+    /// Create a world sharing an externally owned [`Tracer`]: every
+    /// communicator operation emits a span into it (when enabled), tagged
+    /// with the rank and the trainer-provided step/microbatch context.
+    pub fn with_tracer(
+        n: usize,
+        config: CommConfig,
+        plan: Option<FaultPlan>,
+        tracer: Tracer,
+    ) -> Self {
         assert!(n > 0);
         let sent = (0..n).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect();
         World {
@@ -198,6 +265,7 @@ impl World {
                 config,
                 plan,
                 events: EventLog::new(),
+                tracer,
                 dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
                 ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
             }),
@@ -212,6 +280,11 @@ impl World {
     /// The shared fault log.
     pub fn events(&self) -> &EventLog {
         &self.inner.events
+    }
+
+    /// The shared span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// The installed fault plan, if any.
@@ -240,7 +313,14 @@ impl World {
     /// A communicator handle for `rank`.
     pub fn communicator(&self, rank: usize) -> Communicator {
         assert!(rank < self.inner.n);
-        Communicator { rank, world: self.clone(), chan_seq: HashMap::new(), group_seq: HashMap::new() }
+        Communicator {
+            rank,
+            world: self.clone(),
+            chan_seq: HashMap::new(),
+            group_seq: HashMap::new(),
+            trace_step: None,
+            trace_micro: None,
+        }
     }
 
     /// Snapshot of traffic counters.
@@ -387,6 +467,11 @@ pub struct Communicator {
     chan_seq: HashMap<(usize, usize), u64>,
     /// Sequence counters per collective group.
     group_seq: HashMap<Vec<usize>, u64>,
+    /// Trace context: the logical step the owner is executing (set by the
+    /// trainer — communication ops don't know the step on their own).
+    trace_step: Option<u64>,
+    /// Trace context: the microbatch in flight.
+    trace_micro: Option<u64>,
 }
 
 impl Communicator {
@@ -403,6 +488,32 @@ impl Communicator {
     /// The world this communicator belongs to.
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// Set the step tag stamped onto spans this communicator emits (clears
+    /// the microbatch tag: a new step starts outside any microbatch).
+    pub fn set_trace_step(&mut self, step: u64) {
+        self.trace_step = Some(step);
+        self.trace_micro = None;
+    }
+
+    /// Set the microbatch tag stamped onto spans this communicator emits.
+    pub fn set_trace_micro(&mut self, micro: Option<u64>) {
+        self.trace_micro = micro;
+    }
+
+    /// Open a span tagged with this communicator's rank and step/microbatch
+    /// context. One relaxed atomic load when tracing is disabled.
+    #[inline]
+    pub fn trace_span(&self, category: SpanCategory) -> SpanGuard {
+        let mut g = self.world.inner.tracer.span(category, self.rank);
+        if let Some(step) = self.trace_step {
+            g = g.step(step);
+        }
+        if let Some(micro) = self.trace_micro {
+            g = g.micro(micro);
+        }
+        g
     }
 
     /// Execute this rank's planned step-boundary crash, if the plan schedules
@@ -479,6 +590,7 @@ impl Communicator {
         class: CommClass,
         payload: Vec<Tensor>,
     ) -> Result<(), CommError> {
+        let _span = self.trace_span(class_category(class)).label("send");
         self.op_hook()?;
         let tag = self.next_chan_tag(self.rank, dst);
         self.world.account(self.rank, class, Self::payload_bytes(&payload));
@@ -489,6 +601,7 @@ impl Communicator {
     /// Blocking receive of the next message from `src` (retransmit timer
     /// active: recovers injected drops with exponential backoff).
     pub fn recv(&mut self, src: usize) -> Result<Vec<Tensor>, CommError> {
+        let _span = self.trace_span(SpanCategory::P2p).label("recv");
         self.op_hook()?;
         let tag = self.next_chan_tag(src, self.rank);
         self.world.take(src, self.rank, tag, true)
@@ -508,6 +621,7 @@ impl Communicator {
         group: &[usize],
         mut chunks: Vec<Tensor>,
     ) -> Result<Vec<Tensor>, CommError> {
+        let _span = self.trace_span(SpanCategory::AllToAll);
         self.op_hook()?;
         assert_eq!(chunks.len(), group.len());
         let tag_base = self.next_group_tag(group);
@@ -543,6 +657,7 @@ impl Communicator {
         class: CommClass,
         value: Tensor,
     ) -> Result<Vec<Tensor>, CommError> {
+        let _span = self.trace_span(class_category(class)).label("allgather");
         self.op_hook()?;
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");
@@ -572,6 +687,7 @@ impl Communicator {
     /// "gradient-allreduce volume is unchanged by WP" claim measurable).
     /// Deterministic: every chunk is reduced in group order by its owner.
     pub fn allreduce_sum(&mut self, group: &[usize], value: &Tensor) -> Result<Tensor, CommError> {
+        let _span = self.trace_span(SpanCategory::AllReduce);
         self.op_hook()?;
         let n = group.len();
         if n == 1 {
@@ -646,6 +762,7 @@ impl Communicator {
         root_ix: usize,
         value: Option<Tensor>,
     ) -> Result<Tensor, CommError> {
+        let _span = self.trace_span(SpanCategory::Broadcast);
         self.op_hook()?;
         let tag_base = self.next_group_tag(group);
         let me = group.iter().position(|&r| r == self.rank).expect("rank not in group");

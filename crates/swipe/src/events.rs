@@ -7,9 +7,12 @@
 //!
 //! - [`EventLog<E>`] — the shared log. SWiPe instantiates it at the default
 //!   `E = FaultEvent`; `aeris-serve` instantiates it with its own event enum.
-//! - [`MetricSeries`] — a thread-shared series of scalar samples with
-//!   count/mean/max and percentile queries, for latency, batch-size, queue
-//!   depth and similar operational distributions.
+//! - [`MetricSeries`] — re-exported from `aeris-obs` (where it moved when the
+//!   observability subsystem grew its own crate) so existing
+//!   `swipe::events::MetricSeries` users keep compiling; new code should take
+//!   it from `aeris_obs` directly, typically via [`Tracer::series`].
+//!
+//! [`Tracer::series`]: aeris_obs::Tracer::series
 //!
 //! Every injected fault, recovery action, and reconfiguration decision of the
 //! trainer is recorded here so that tests (and operators) can assert not just
@@ -122,65 +125,7 @@ impl<E: Clone> EventLog<E> {
     }
 }
 
-/// A thread-shared series of scalar metric samples (latencies, batch sizes,
-/// queue depths, …) with simple distribution queries. Cloning shares the
-/// underlying series.
-#[derive(Clone, Default)]
-pub struct MetricSeries {
-    samples: Arc<Mutex<Vec<f64>>>,
-}
-
-impl MetricSeries {
-    pub fn new() -> Self {
-        MetricSeries::default()
-    }
-
-    /// Append one sample.
-    pub fn record(&self, value: f64) {
-        self.samples.lock().push(value);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> usize {
-        self.samples.lock().len()
-    }
-
-    /// Arithmetic mean, or `None` with no samples.
-    pub fn mean(&self) -> Option<f64> {
-        let s = self.samples.lock();
-        if s.is_empty() {
-            return None;
-        }
-        Some(s.iter().sum::<f64>() / s.len() as f64)
-    }
-
-    /// Largest sample, or `None` with no samples.
-    pub fn max(&self) -> Option<f64> {
-        self.samples.lock().iter().copied().fold(None, |m, v| {
-            Some(match m {
-                Some(m) => v.max(m),
-                None => v,
-            })
-        })
-    }
-
-    /// The `p`-th percentile (0 ≤ p ≤ 100) by the nearest-rank method, or
-    /// `None` with no samples.
-    pub fn percentile(&self, p: f64) -> Option<f64> {
-        let mut s = self.samples.lock().clone();
-        if s.is_empty() {
-            return None;
-        }
-        s.sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
-        let rank = ((p / 100.0) * (s.len() as f64 - 1.0)).round() as usize;
-        Some(s[rank.min(s.len() - 1)])
-    }
-
-    /// Copy out the raw samples in record order.
-    pub fn snapshot(&self) -> Vec<f64> {
-        self.samples.lock().clone()
-    }
-}
+pub use aeris_obs::{MetricSeries, MetricSummary};
 
 #[cfg(test)]
 mod tests {

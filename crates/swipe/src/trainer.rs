@@ -37,6 +37,7 @@ use aeris_diffusion::TrigFlow;
 use aeris_nn::checkpoint::{entry_u64, load_entries, save_entries, u64_entry};
 use aeris_nn::window::WindowGrid;
 use aeris_nn::{AdamW, AdamWConfig, ParamId, RopeTable};
+use aeris_obs::{SpanCategory, Tracer};
 use aeris_tensor::{Rng, Tensor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -73,6 +74,12 @@ pub struct SwipeConfig {
     pub checkpoint: Option<CheckpointConfig>,
     /// Resume from a checkpoint file written by a previous run.
     pub resume_from: Option<PathBuf>,
+    /// Span tracer shared into every rank thread. Disabled by default: each
+    /// span site then costs one atomic load. Pass `Tracer::enabled()` to
+    /// record the full per-rank pipeline timeline (schedule slots, comm ops,
+    /// bubbles, optimizer, checkpoints), exportable via
+    /// `tracer.chrome_trace()` / the `aeris-obs` MFU report.
+    pub tracer: Tracer,
 }
 
 impl SwipeConfig {
@@ -90,6 +97,7 @@ impl SwipeConfig {
             faults: None,
             checkpoint: None,
             resume_from: None,
+            tracer: Tracer::default(),
         }
     }
 }
@@ -346,7 +354,8 @@ impl DistributedTrainer {
                 assert_eq!(micro.len(), cfg.gas);
             }
         }
-        let world = World::with_config(topo.world_size(), cfg.comm, cfg.faults.clone());
+        let world =
+            World::with_tracer(topo.world_size(), cfg.comm, cfg.faults.clone(), cfg.tracer.clone());
         let fail = |error: SwipeError, world: &World| TrainFailure {
             error,
             events: world.events().snapshot(),
@@ -514,6 +523,7 @@ fn run_rank(
     let mut prev_live_dp = topo.dp;
 
     for step in start_step..cfg.n_steps {
+        comm.set_trace_step(step as u64);
         // ---- step-boundary fault-plan reconfiguration ----
         // The plan is shared knowledge: every rank derives the same dead set
         // for this step without any agreement protocol.
@@ -555,18 +565,22 @@ fn run_rank(
         for action in &actions {
             match *action {
                 Action::Forward(m) => {
+                    comm.set_trace_micro(Some(m as u64));
                     let sample = schedule[step][coords.dp][m];
                     let t = shared_t(&tf, cfg.seed, step, coords.dp, m);
                     match kind {
                         StageKind::Input => {
-                            let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
-                            let prev = source.load_rows(sample, Field::Prev, &my_tokens);
-                            let forc = source.load_rows(sample, Field::Forcing, &my_tokens);
-                            let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
-                            let x_t = tf.interpolate(&x0, &z, t);
-                            let cat = Tensor::concat_cols(&[&x_t, &prev, &forc]);
-                            let input = aeris_nn::posenc::add_pos_encoding(&cat, &my_pos);
-                            let run = stage_model.forward_input(input);
+                            let run = {
+                                let _fwd = comm.trace_span(SpanCategory::Forward);
+                                let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
+                                let prev = source.load_rows(sample, Field::Prev, &my_tokens);
+                                let forc = source.load_rows(sample, Field::Forcing, &my_tokens);
+                                let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
+                                let x_t = tf.interpolate(&x0, &z, t);
+                                let cat = Tensor::concat_cols(&[&x_t, &prev, &forc]);
+                                let input = aeris_nn::posenc::add_pos_encoding(&cat, &my_pos);
+                                stage_model.forward_input(input)
+                            };
                             send_relayout(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
@@ -575,13 +589,21 @@ fn run_rank(
                             runs.insert(m, run);
                         }
                         StageKind::Block(_) => {
-                            let x_in = recv_relayout(
-                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
-                                &my_layout, my_layout.rows_per_rank(), dim,
-                            )?;
-                            let run = stage_model.forward_block(
-                                x_in, t, &my_layout, &rope, &mut comm, &sp_group,
-                            )?;
+                            let x_in = {
+                                // Pipeline wait: blocked until the previous
+                                // stage's activations arrive.
+                                let _bubble = comm.trace_span(SpanCategory::Bubble);
+                                recv_relayout(
+                                    &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                    &my_layout, my_layout.rows_per_rank(), dim,
+                                )?
+                            };
+                            let run = {
+                                let _fwd = comm.trace_span(SpanCategory::Forward);
+                                stage_model.forward_block(
+                                    x_in, t, &my_layout, &rope, &mut comm, &sp_group,
+                                )?
+                            };
                             send_relayout(
                                 &mut comm, &topo, coords, &my_layout,
                                 next_layout.as_ref().unwrap(),
@@ -590,10 +612,14 @@ fn run_rank(
                             runs.insert(m, run);
                         }
                         StageKind::Head => {
-                            let x_in = recv_relayout(
-                                &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
-                                &my_layout, my_layout.rows_per_rank(), dim,
-                            )?;
+                            let x_in = {
+                                let _bubble = comm.trace_span(SpanCategory::Bubble);
+                                recv_relayout(
+                                    &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
+                                    &my_layout, my_layout.rows_per_rank(), dim,
+                                )?
+                            };
+                            let _fwd = comm.trace_span(SpanCategory::Forward);
                             let x0 = source.load_rows(sample, Field::Residual, &my_tokens);
                             let z = noise_rows(cfg.seed, sample, &my_tokens, mcfg.channels);
                             let v_target = tf.velocity_target(&x0, &z, t);
@@ -606,35 +632,49 @@ fn run_rank(
                     }
                 }
                 Action::Backward(m) => {
+                    comm.set_trace_micro(Some(m as u64));
                     let run = runs.remove(&m).expect("forward before backward");
                     match kind {
                         StageKind::Head => {
-                            let g_in = stage_model.backward_head(run, &mut grads);
+                            let g_in = {
+                                let _bwd = comm.trace_span(SpanCategory::Backward);
+                                stage_model.backward_head(run, &mut grads)
+                            };
                             send_grads_back(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, &g_in,
                             )?;
                         }
                         StageKind::Block(_) => {
-                            let g_out = recv_grads_back(
-                                &mut comm, &topo, coords, &my_layout,
-                                next_layout.as_ref().unwrap(),
-                                my_layout.rows_per_rank(), dim,
-                            )?;
-                            let g_in = stage_model.backward_block(
-                                run, g_out, &mut comm, &sp_group, &mut grads,
-                            )?;
+                            let g_out = {
+                                let _bubble = comm.trace_span(SpanCategory::Bubble);
+                                recv_grads_back(
+                                    &mut comm, &topo, coords, &my_layout,
+                                    next_layout.as_ref().unwrap(),
+                                    my_layout.rows_per_rank(), dim,
+                                )?
+                            };
+                            let g_in = {
+                                let _bwd = comm.trace_span(SpanCategory::Backward);
+                                stage_model.backward_block(
+                                    run, g_out, &mut comm, &sp_group, &mut grads,
+                                )?
+                            };
                             send_grads_back(
                                 &mut comm, &topo, coords, prev_layout.as_ref().unwrap(),
                                 &my_layout, &g_in,
                             )?;
                         }
                         StageKind::Input => {
-                            let g_out = recv_grads_back(
-                                &mut comm, &topo, coords, &my_layout,
-                                next_layout.as_ref().unwrap(),
-                                my_layout.rows_per_rank(), dim,
-                            )?;
+                            let g_out = {
+                                let _bubble = comm.trace_span(SpanCategory::Bubble);
+                                recv_grads_back(
+                                    &mut comm, &topo, coords, &my_layout,
+                                    next_layout.as_ref().unwrap(),
+                                    my_layout.rows_per_rank(), dim,
+                                )?
+                            };
+                            let _bwd = comm.trace_span(SpanCategory::Backward);
                             stage_model.backward_input(run, g_out, &mut grads);
                         }
                     }
@@ -646,6 +686,7 @@ fn run_rank(
         }
 
         // ---- gradient reduction (rescaled to the surviving global batch) ----
+        comm.set_trace_micro(None);
         let gbs = (live_dp * cfg.gas) as f32;
         for i in 0..stage_model.store.len() {
             let shape = stage_model.store.get(ParamId(i)).shape().to_vec();
@@ -660,6 +701,7 @@ fn run_rank(
         // ---- ZeRO-1 sharded optimizer ----
         // Owner updates its shard with AdamW state, then broadcasts the fresh
         // parameter to the group.
+        let _opt_span = comm.trace_span(SpanCategory::OptimizerStep);
         let mut own_grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
         for i in 0..stage_model.store.len() {
             let group: &[usize] =
@@ -682,6 +724,7 @@ fn run_rank(
             let fresh = comm.broadcast(group, owner_ix, value)?;
             *stage_model.store.get_mut(ParamId(i)) = fresh;
         }
+        drop(_opt_span);
 
         // ---- loss reporting: sum local head losses over live ranks ----
         let loss_sum = comm
@@ -697,6 +740,7 @@ fn run_rank(
             .as_ref()
             .filter(|c| c.every > 0 && (step + 1) % c.every == 0);
         if let Some(ck) = due {
+            let _ckpt = comm.trace_span(SpanCategory::Checkpoint);
             save_checkpoint(
                 &mut comm, &topo, cfg, coords, &stage_model, &opt, &shared_ixs,
                 &grad_group_live, &shared_group_live, &all_live, &dead_dps, ckpt_buf, ck,

@@ -84,5 +84,31 @@ fn main() {
         let c = crps(&members, truth, &lat_w, t2m);
         println!("  day {day}: T2m ensemble-mean RMSE {r:.2} K, CRPS {c:.2} K");
     }
+    // 6. Observability: replay one forecast through the traced serving
+    //    engine and dump the span timeline as Chrome-trace JSON — load
+    //    trace.json in Perfetto or chrome://tracing to see admission, cache
+    //    lookups, batch assembly, and the batched model steps.
+    use aeris::obs::Tracer;
+    use aeris::serve::{ForecastRequest, Forcings, ServeConfig, ServeEngine};
+    let tracer = Tracer::enabled();
+    let engine = ServeEngine::start_traced(
+        std::sync::Arc::new(forecaster),
+        ServeConfig::default(),
+        tracer.clone(),
+    );
+    let ticket = engine
+        .submit(ForecastRequest {
+            init: ds.state(i0).clone(),
+            forcings: Forcings::Table(std::sync::Arc::new((0..12).map(&forc).collect())),
+            steps: 12,
+            n_members: 2,
+            seed: 7,
+            deadline: None,
+        })
+        .expect("admitted");
+    ticket.wait().expect("served");
+    engine.shutdown();
+    std::fs::write("trace.json", tracer.chrome_trace()).expect("write trace.json");
+    println!("wrote trace.json ({} spans) — open it in Perfetto or chrome://tracing", tracer.span_count());
     println!("done — see examples/ensemble_weather.rs and examples/swipe_scaling.rs for more.");
 }

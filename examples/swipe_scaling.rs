@@ -13,9 +13,11 @@ use aeris::core::{AerisConfig, AerisModel, TrainSample};
 use aeris::diffusion::loss_weights;
 use aeris::earthsim::Grid;
 use aeris::nn::{AdamW, AdamWConfig, ParamId};
+use aeris::obs::{mfu_report, MessageLaw, MfuInputs, Tracer};
+use aeris::perfmodel::{predict, train_flops_per_sample, AerisPerfConfig, EffModel, MachineSpec};
 use aeris::swipe::data::InMemorySource;
 use aeris::swipe::trainer::reference_grads;
-use aeris::swipe::{CommClass, DistributedTrainer, SwipeConfig, SwipeTopology};
+use aeris::swipe::{DistributedTrainer, SwipeConfig, SwipeTopology};
 use aeris::tensor::{Rng, Tensor};
 
 fn main() {
@@ -53,6 +55,7 @@ fn main() {
         "topology: DP={} × PP={} × WP={}x{} × SP={} = {} thread ranks",
         topo.dp, topo.pp, topo.wp_a, topo.wp_b, topo.sp, topo.world_size()
     );
+    let tracer = Tracer::enabled();
     let swipe_cfg = SwipeConfig {
         topo,
         gas: 2,
@@ -60,6 +63,7 @@ fn main() {
         lr: 1e-3,
         seed: 5,
         adamw: AdamWConfig::default(),
+        tracer: tracer.clone(),
         ..SwipeConfig::new(topo)
     };
     let schedule: Vec<Vec<Vec<usize>>> =
@@ -91,9 +95,83 @@ fn main() {
     }
     println!("max relative parameter deviation distributed vs single-rank: {worst:.2e}");
 
-    println!("\nmeasured traffic totals:");
-    for class in [CommClass::AllToAll, CommClass::P2p, CommClass::AllReduce, CommClass::AllGather] {
-        println!("  {class:?}: {} bytes", report.traffic.total(class));
-    }
+    println!("\nmeasured traffic (bytes sent per rank, by class):");
+    println!("{}", report.traffic.report());
     println!("peak activation elements on any rank: {}", report.max_activation_elems);
+
+    // The step report: the recorded trace aggregated per step and checked
+    // against the paper's message-size law M = b·s·h/SP/WP — an *exact*
+    // integer comparison against the byte counters above.
+    // The same analytical model that reproduces Table III, pointed at this
+    // toy run: a "machine" whose tile is one laptop thread (a few scalar-f32
+    // GFLOP/s), the model geometry above, and the run's WP/DP/GAS.
+    let peak_per_rank = 5e9;
+    let toy_perf = AerisPerfConfig {
+        name: "toy",
+        params_label_b: 0.0,
+        wp_base: (topo.wp_a, topo.wp_b),
+        wp_large: (topo.wp_a, topo.wp_b),
+        pp: topo.pp,
+        gas: 2,
+        dim: 16,
+        heads: 2,
+        ffn: 32,
+        blocks: 2,
+        window: 4,
+        nodes: topo.dp * topo.wp_a * topo.wp_b * topo.pp,
+        dp: topo.dp,
+        seq_tokens: 8 * 16,
+        channels: 4,
+    };
+    let toy_machine = MachineSpec {
+        name: "laptop",
+        gpu: "cpu-thread",
+        gpus_per_node: 1,
+        tiles_per_node: topo.sp, // SP degree = tiles per "node"
+        gpu_memory_gb: 1.0,
+        gpu_mem_bw_tbs: 0.05,
+        nics_per_node: 1,
+        network_bw_gbs: 10.0,
+        scaleup_bw_gbs: 10.0,
+        peak_bf16_tflops_per_tile: peak_per_rank / 1e12,
+        peak_fp32_tflops_per_tile: peak_per_rank / 1e12,
+        ccl: "threads",
+        max_nodes: 64,
+    };
+    let predicted = predict(
+        &toy_perf,
+        &toy_machine,
+        topo.wp_a * topo.wp_b,
+        topo.dp,
+        2,
+        &EffModel::default(),
+    );
+
+    let spans = tracer.snapshot_spans();
+    let mfu = mfu_report(&MfuInputs {
+        spans: &spans,
+        comm: report.traffic.comm_bytes(),
+        law: Some(MessageLaw {
+            tokens: 8 * 16,
+            dim: 16,
+            sp: topo.sp as u64,
+            wp: (topo.wp_a * topo.wp_b) as u64,
+            dp: topo.dp as u64,
+            gas: 2,
+            blocks: 2,
+            steps: 2,
+        }),
+        flops_per_step: train_flops_per_sample(&toy_perf) * (topo.dp * 2) as f64,
+        ranks: topo.world_size(),
+        peak_flops_per_rank: peak_per_rank,
+        predicted: Some(predicted),
+    });
+    println!("\n{mfu}");
+
+    // AERIS_TRACE=<path>: dump the full span timeline as Chrome-trace JSON
+    // (load it in Perfetto or chrome://tracing to see the 1F1B schedule).
+    if let Ok(path) = std::env::var("AERIS_TRACE") {
+        std::fs::write(&path, tracer.chrome_trace()).expect("write trace");
+        println!("wrote {} spans to {path}", spans.len());
+    }
 }

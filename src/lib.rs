@@ -26,6 +26,7 @@ pub use aeris_diffusion as diffusion;
 pub use aeris_earthsim as earthsim;
 pub use aeris_evaluation as evaluation;
 pub use aeris_nn as nn;
+pub use aeris_obs as obs;
 pub use aeris_perfmodel as perfmodel;
 pub use aeris_serve as serve;
 pub use aeris_swipe as swipe;
