@@ -125,6 +125,30 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// The most recent coordinated checkpoint in `dir`: the lexicographically
+/// greatest `step_*.ckpt` file (step numbers are zero-padded, so name order
+/// is step order). `Ok(None)` when the directory is missing or holds no
+/// checkpoints — a recovery supervisor then restarts from scratch.
+pub fn latest_checkpoint(dir: &Path) -> std::io::Result<Option<std::path::PathBuf>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut best: Option<(String, std::path::PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("step_") && name.ends_with(".ckpt")) {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, _)| name > *b) {
+            best = Some((name, entry.path()));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}
+
 /// Encode a `u64` as a 2-element tensor of f32 *bit patterns* (lo, hi 32
 /// bits). Stored bitwise, so round-trips are exact — used for step counters
 /// and RNG state in trainer checkpoints, which must survive serialization
@@ -204,6 +228,21 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = [0u8; 16];
         assert!(read_params(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_step() {
+        let dir = std::env::temp_dir().join("aeris_ckpt_latest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(latest_checkpoint(&dir).unwrap(), None, "missing dir is not an error");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest_checkpoint(&dir).unwrap(), None);
+        for name in ["step_000002.ckpt", "step_000010.ckpt", "step_000004.ckpt", "notes.txt"] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let best = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(best.file_name().unwrap(), "step_000010.ckpt");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

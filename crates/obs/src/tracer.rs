@@ -59,11 +59,18 @@ pub enum SpanCategory {
     Admission,
     /// Coordinated checkpoint write.
     Checkpoint,
+    /// A parked data-parallel replica waiting out a fault window (opens at
+    /// retirement, closes at rejoin — balanced pairs prove every retired
+    /// replica that was scheduled to return actually did).
+    Outage,
+    /// Elastic recovery work: supervisor restart attempts and the rejoin
+    /// state re-shard (donor send / rejoiner receive).
+    Recovery,
 }
 
 impl SpanCategory {
     /// All categories, in display order.
-    pub const ALL: [SpanCategory; 13] = [
+    pub const ALL: [SpanCategory; 15] = [
         SpanCategory::Forward,
         SpanCategory::Backward,
         SpanCategory::P2p,
@@ -77,6 +84,8 @@ impl SpanCategory {
         SpanCategory::CacheLookup,
         SpanCategory::Admission,
         SpanCategory::Checkpoint,
+        SpanCategory::Outage,
+        SpanCategory::Recovery,
     ];
 
     /// Stable lowercase name (Prometheus label / Chrome-trace category).
@@ -95,6 +104,8 @@ impl SpanCategory {
             SpanCategory::CacheLookup => "cache_lookup",
             SpanCategory::Admission => "admission",
             SpanCategory::Checkpoint => "checkpoint",
+            SpanCategory::Outage => "outage",
+            SpanCategory::Recovery => "recovery",
         }
     }
 }

@@ -88,9 +88,12 @@ pub struct ForecastRequest {
     pub n_members: usize,
     /// Base seed for the ensemble's noise streams.
     pub seed: u64,
-    /// Optional latency budget measured from submission. Work for a request
-    /// that is dequeued after its deadline is shed and the request fails
-    /// with [`ServeError::DeadlineExceeded`]. Requests answered entirely
+    /// Optional latency budget measured from submission. A request whose
+    /// budget is already spent at submission — or leaves less headroom than
+    /// the micro-batcher's gather window (`ServeConfig::max_wait`) — is shed
+    /// at admission with [`ServeError::DeadlineExceeded`] instead of queuing
+    /// doomed work; one that expires while queued is shed at dequeue. Both
+    /// kinds count toward `ServeReport::shed`. Requests answered entirely
     /// from cache never expire (they cost no model evaluations).
     pub deadline: Option<Duration>,
 }

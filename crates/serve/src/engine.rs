@@ -230,6 +230,7 @@ struct EngineShared {
     drained: Condvar,
     next_id: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl EngineShared {
@@ -253,6 +254,7 @@ impl EngineShared {
             req.done_cv.notify_all();
         }
         if let ServeError::DeadlineExceeded { req: id } = err {
+            self.shed.fetch_add(1, Ordering::Relaxed);
             self.events.record(actor, ServeEvent::DeadlineExceeded { req: id });
         }
         self.release_outstanding();
@@ -387,6 +389,9 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
 pub struct ServeReport {
     /// Requests served to completion.
     pub completed: u64,
+    /// Requests shed for deadline reasons — at admission (budget already
+    /// unmeetable) or at dequeue (expired while queued).
+    pub shed: u64,
     /// The full serving event log.
     pub events: Vec<EventRecord<ServeEvent>>,
     /// Latency / batch-size / queue-depth series.
@@ -431,6 +436,7 @@ impl ServeEngine {
             drained: Condvar::new(),
             next_id: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|w| {
@@ -529,6 +535,19 @@ impl ServeEngine {
                 tasks.push(task);
             }
         }
+        // Admission-time shedding: a deadline that has already passed, or
+        // that leaves less headroom than the batcher's gather window, cannot
+        // be met — fail now instead of queuing doomed work. Fully-cached
+        // requests never reach this check (no tasks remain).
+        if !tasks.is_empty() {
+            if let Some(dl) = req.deadline {
+                let now = Instant::now();
+                if now >= dl || dl - now < shared.cfg.max_wait {
+                    shared.fail_request(&req, ServeError::DeadlineExceeded { req: id }, CLIENT_ACTOR);
+                    return Err(ServeError::DeadlineExceeded { req: id });
+                }
+            }
+        }
         shared.queue.push_many(tasks);
         Ok(Ticket { req })
     }
@@ -596,6 +615,7 @@ impl ServeEngine {
         self.shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
         ServeReport {
             completed,
+            shed: self.shared.shed.load(Ordering::Relaxed),
             events: self.shared.events.snapshot(),
             metrics: self.shared.metrics.clone(),
             cache: self.shared.cache.stats(),
@@ -625,6 +645,11 @@ impl ServeEngine {
     /// Requests served to completion so far.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed for deadline reasons so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
     }
 }
 
@@ -765,16 +790,37 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_requests_are_shed() {
+    fn zero_deadline_requests_are_shed_at_admission() {
         let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
         let mut req = request(50, 4, 2);
         req.deadline = Some(Duration::ZERO);
-        let err = engine.submit(req).expect("admitted").wait().err().expect("must expire");
+        let err = engine.submit(req).err().expect("must shed at admission");
         assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
         assert!(engine.events().any(|e| matches!(e, ServeEvent::DeadlineExceeded { .. })));
         // The engine still drains cleanly afterwards.
         let report = engine.shutdown();
         assert_eq!(report.completed, 0);
+        assert_eq!(report.shed, 1);
+    }
+
+    #[test]
+    fn fully_cached_requests_survive_expired_deadlines() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        engine.submit(request(51, 3, 2)).expect("admitted").wait().expect("served");
+        // Same request with a spent budget: answered entirely from cache, so
+        // it is not shed — it costs no model evaluations.
+        let mut warm = request(51, 3, 2);
+        warm.deadline = Some(Duration::ZERO);
+        let resp = engine.submit(warm).expect("admitted").wait().expect("served from cache");
+        assert_eq!(resp.computed_steps, 0);
+        assert_eq!(resp.cache_hits, 6);
+        // An uncached request with the same spent budget is shed up front.
+        let mut cold = request(52, 3, 2);
+        cold.deadline = Some(Duration::ZERO);
+        assert!(matches!(engine.submit(cold), Err(ServeError::DeadlineExceeded { .. })));
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.shed, 1);
     }
 
     #[test]

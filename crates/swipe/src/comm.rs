@@ -310,6 +310,14 @@ impl World {
         self.inner.dead[rank].load(Ordering::SeqCst)
     }
 
+    /// Re-admit a previously dead rank (elastic rejoin). Idempotent — every
+    /// live rank calls this for each scheduled rejoiner in its own
+    /// step-boundary preamble, so no rank can observe a stale dead flag on a
+    /// peer it is about to exchange step traffic with.
+    pub fn revive(&self, rank: usize) {
+        self.inner.dead[rank].store(false, Ordering::SeqCst);
+    }
+
     /// A communicator handle for `rank`.
     pub fn communicator(&self, rank: usize) -> Communicator {
         assert!(rank < self.inner.n);

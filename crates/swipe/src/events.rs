@@ -57,6 +57,15 @@ pub enum FaultEvent {
     /// A coordinated checkpoint was written covering training state up to
     /// (excluding) `next_step`.
     CheckpointSaved { next_step: usize, path: String },
+    /// A previously crashed rank re-entered the world at a step boundary and
+    /// received a re-sharded copy of the surviving replicas' state.
+    RankRejoined { rank: usize, step: usize },
+    /// A parked member of a crashed rank's replica resumed with it (the
+    /// whole replica rejoins the run together, mirroring `ReplicaRetired`).
+    ReplicaRejoined { rank: usize, dp: usize, step: usize },
+    /// The recovery supervisor relaunched training after a failure
+    /// (`attempt` counts from 1; `from_step` is the resume boundary).
+    RunResumed { attempt: usize, from_step: usize },
 }
 
 /// An event plus the actor (rank thread, serving worker, …) that

@@ -23,6 +23,7 @@
 //! collective member messages alike — so a fault can target any wire
 //! message a run produces.
 
+use crate::events::{EventRecord, FaultEvent};
 use std::collections::HashMap;
 
 /// A fault attached to one (src → dst, nth-message) channel slot.
@@ -46,6 +47,9 @@ pub struct FaultPlan {
     /// rank → communication-op count after which it crashes mid-step
     /// (hard-failure path).
     op_crashes: HashMap<usize, u64>,
+    /// rank → step boundary at which a step-crashed rank rejoins the run
+    /// (elastic path; must be later than the rank's crash step).
+    restarts: HashMap<usize, usize>,
 }
 
 impl FaultPlan {
@@ -83,6 +87,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a step-boundary-crashed `rank` to rejoin at the boundary of
+    /// `step` (before any work of that step). The rank's replica regrows into
+    /// the data-parallel groups in group order and receives a re-sharded copy
+    /// of the surviving replicas' state. `step` must be strictly later than
+    /// the rank's crash step; a restart with no matching crash is inert.
+    pub fn restart_rank(mut self, rank: usize, step: usize) -> Self {
+        self.restarts.insert(rank, step);
+        self
+    }
+
     /// A seeded random delay-only plan: `count` delays of up to `max_millis`
     /// each, scattered over the first `max_nth` messages of random directed
     /// channels in an `n`-rank world. Delay-only plans must never change
@@ -99,6 +113,37 @@ impl FaultPlan {
             let nth = rng.below(max_nth.max(1) as usize) as u64;
             let millis = 1 + rng.below(max_millis.max(1) as usize) as u64;
             plan = plan.delay_message(src, dst, nth, millis);
+        }
+        plan
+    }
+
+    /// A seeded random crash→restart plan: `count` ranks (drawn from distinct
+    /// data-parallel replicas of an `n`-rank world with `ranks_per_dp` ranks
+    /// per replica) each crash at a step boundary in `[1, max_step)` and
+    /// rejoin at a later boundary `<= max_step`. Mirrors
+    /// [`chaos_delays`](FaultPlan::chaos_delays): the plan is a pure function
+    /// of the seed, so chaos runs reproduce exactly.
+    pub fn chaos_restarts(
+        seed: u64,
+        n: usize,
+        ranks_per_dp: usize,
+        max_step: usize,
+        count: usize,
+    ) -> Self {
+        assert!(max_step >= 2, "need room for a crash strictly before a rejoin");
+        let mut plan = FaultPlan::new();
+        let mut rng = aeris_tensor::Rng::seed_from(seed ^ 0xE1A5_71C0_FA17_7E57);
+        let mut hit_dps = Vec::new();
+        for _ in 0..count {
+            let rank = rng.below(n);
+            let dp = rank / ranks_per_dp;
+            if hit_dps.contains(&dp) {
+                continue; // one fault window per replica keeps windows disjoint
+            }
+            hit_dps.push(dp);
+            let crash = 1 + rng.below(max_step - 1);
+            let restart = crash + 1 + rng.below(max_step - crash);
+            plan = plan.crash_rank(rank, crash).restart_rank(rank, restart);
         }
         plan
     }
@@ -123,14 +168,48 @@ impl FaultPlan {
         self.op_crashes.get(&rank).copied()
     }
 
-    /// Ranks whose planned step-boundary crash has occurred by `step`
-    /// (i.e. `crash step <= step`). Mid-step op crashes are not included:
+    /// The step boundary at which `rank` is scheduled to rejoin, if any.
+    pub fn restart_step(&self, rank: usize) -> Option<usize> {
+        self.restarts.get(&rank).copied()
+    }
+
+    /// Ranks that are dead at `step`: their planned step-boundary crash has
+    /// occurred (`crash <= step`) and no scheduled restart has taken effect
+    /// yet (`restart > step`, or none). Mid-step op crashes are not included:
     /// they are hard failures surfaced as errors, not reconfigurations.
     pub fn dead_ranks_at(&self, step: usize) -> Vec<usize> {
-        let mut dead: Vec<usize> =
-            self.step_crashes.iter().filter(|&(_, &s)| s <= step).map(|(&r, _)| r).collect();
+        let mut dead: Vec<usize> = self
+            .step_crashes
+            .iter()
+            .filter(|&(&r, &s)| s <= step && !matches!(self.restart_step(r), Some(t) if t <= step))
+            .map(|(&r, _)| r)
+            .collect();
         dead.sort_unstable();
         dead
+    }
+
+    /// The plan minus every crash that already fired in a previous attempt,
+    /// as witnessed by that attempt's event log. A recovery supervisor passes
+    /// the failed run's events here so the resumed run does not re-execute
+    /// crashes from before the resume point (the plan is step-indexed, and a
+    /// resumed run replays the same step numbers). Message faults are kept:
+    /// they are channel-indexed, recoverable by design, and a fresh world's
+    /// channels restart from message zero anyway.
+    pub fn without_fired(&self, events: &[EventRecord]) -> FaultPlan {
+        let mut plan = self.clone();
+        for rec in events {
+            match rec.event {
+                FaultEvent::RankCrashed { rank, .. } => {
+                    plan.step_crashes.remove(&rank);
+                    plan.restarts.remove(&rank);
+                }
+                FaultEvent::RankCrashedMidStep { rank, .. } => {
+                    plan.op_crashes.remove(&rank);
+                }
+                _ => {}
+            }
+        }
+        plan
     }
 }
 
@@ -174,5 +253,56 @@ mod tests {
         }
         let c = FaultPlan::chaos_delays(43, 8, 16, 10, 4);
         assert_ne!(a.messages, c.messages, "different seeds should differ");
+    }
+
+    #[test]
+    fn restart_reopens_the_dead_window() {
+        let plan = FaultPlan::new().crash_rank(3, 2).restart_rank(3, 5);
+        assert_eq!(plan.restart_step(3), Some(5));
+        assert_eq!(plan.restart_step(4), None);
+        assert_eq!(plan.dead_ranks_at(1), Vec::<usize>::new());
+        assert_eq!(plan.dead_ranks_at(2), vec![3]);
+        assert_eq!(plan.dead_ranks_at(4), vec![3]);
+        assert_eq!(plan.dead_ranks_at(5), Vec::<usize>::new());
+        assert_eq!(plan.dead_ranks_at(9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chaos_restarts_is_deterministic_and_well_formed() {
+        let a = FaultPlan::chaos_restarts(7, 16, 8, 6, 2);
+        let b = FaultPlan::chaos_restarts(7, 16, 8, 6, 2);
+        assert_eq!(a.step_crashes, b.step_crashes);
+        assert_eq!(a.restarts, b.restarts);
+        assert!(a.messages.is_empty() && a.op_crashes.is_empty());
+        for (&rank, &crash) in &a.step_crashes {
+            let restart = a.restarts[&rank];
+            assert!(crash >= 1 && crash < restart && restart <= 6, "{crash}->{restart}");
+        }
+        // Crashed ranks hit distinct replicas (one fault window per dp).
+        let dps: Vec<usize> = a.step_crashes.keys().map(|&r| r / 8).collect();
+        let mut uniq = dps.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), dps.len());
+    }
+
+    #[test]
+    fn without_fired_strips_only_witnessed_crashes() {
+        let plan = FaultPlan::new()
+            .crash_rank(2, 1)
+            .restart_rank(2, 3)
+            .crash_rank(5, 4)
+            .crash_rank_after_ops(6, 100)
+            .drop_message(0, 1, 2, 1);
+        let events = vec![
+            EventRecord { rank: 2, event: FaultEvent::RankCrashed { rank: 2, step: 1 } },
+            EventRecord { rank: 6, event: FaultEvent::RankCrashedMidStep { rank: 6, ops: 100 } },
+        ];
+        let stripped = plan.without_fired(&events);
+        assert_eq!(stripped.crash_step(2), None);
+        assert_eq!(stripped.restart_step(2), None);
+        assert_eq!(stripped.crash_step(5), Some(4), "unfired crash survives");
+        assert_eq!(stripped.crash_after_ops(6), None);
+        assert!(stripped.message_fault(0, 1, 2).is_some(), "message faults are kept");
     }
 }

@@ -33,6 +33,7 @@ pub mod data;
 pub mod events;
 pub mod fault;
 pub mod layout;
+pub mod recovery;
 pub mod schedule;
 pub mod stage;
 pub mod topology;
@@ -42,9 +43,11 @@ pub use comm::{CommClass, CommConfig, CommError, Communicator, TrafficReport, Wo
 pub use events::{EventLog, EventRecord, FaultEvent, MetricSeries};
 pub use fault::{FaultPlan, MessageFault};
 pub use layout::ActLayout;
+pub use recovery::{supervise, RecoveryConfig, RecoveryError, RecoveryOutcome};
 pub use schedule::{one_f_one_b, try_one_f_one_b, Action, ScheduleError};
 pub use stage::StageError;
 pub use topology::{RankCoords, SwipeTopology};
 pub use trainer::{
-    CheckpointConfig, DistributedTrainer, SwipeConfig, SwipeError, TrainFailure, TrainReport,
+    CheckpointConfig, CheckpointError, DistributedTrainer, SwipeConfig, SwipeError, TrainFailure,
+    TrainReport,
 };

@@ -1,0 +1,194 @@
+//! The crash-recovery supervisor: bounded restart attempts around
+//! [`DistributedTrainer::train`].
+//!
+//! A SWiPe run can die in two recoverable ways — a hard communication
+//! failure (mid-step crash, timeout) or the loss of every data-parallel
+//! replica. The supervisor turns either into a resumable incident:
+//!
+//! 1. classify the failure ([`SwipeError::Comm`] / `AllReplicasLost` are
+//!    recoverable; stage, schedule, and checkpoint-validation errors are
+//!    configuration bugs and surface as [`RecoveryError::Unrecoverable`]);
+//! 2. select the latest coordinated checkpoint in the configured directory
+//!    (none yet → restart from scratch) and point `resume_from` at it;
+//! 3. strip the faults that already fired from the plan
+//!    ([`FaultPlan::without_fired`]) — a resumed run replays the same step
+//!    numbers, and an already-executed crash must not re-fire;
+//! 4. relaunch, up to [`RecoveryConfig::max_restarts`] times.
+//!
+//! Because checkpoint restore is world-size independent along the
+//! data-parallel axis, step 2 works even when the relaunch uses a different
+//! DP width than the world that wrote the checkpoint.
+//!
+//! Every attempt is traced as a [`SpanCategory::Recovery`] span and the
+//! concatenated event log (each failed attempt's events, a
+//! [`FaultEvent::RunResumed`] marker per restart, then the final attempt's
+//! events) is returned in [`RecoveryOutcome::events`], so the full
+//! retire → restore → rejoin sequence of an incident is replayable.
+//!
+//! [`FaultPlan::without_fired`]: crate::fault::FaultPlan::without_fired
+
+use crate::data::WindowSource;
+use crate::events::{EventRecord, FaultEvent};
+use crate::trainer::{
+    checkpoint_step, CheckpointConfig, DistributedTrainer, SwipeConfig, SwipeError, TrainFailure,
+    TrainReport,
+};
+use aeris_core::AerisModel;
+use aeris_nn::checkpoint::latest_checkpoint;
+use aeris_obs::SpanCategory;
+use aeris_tensor::Tensor;
+
+/// Actor id the supervisor stamps onto its own events and spans (it runs
+/// outside any rank thread).
+pub const SUPERVISOR_ACTOR: usize = usize::MAX;
+
+/// Supervisor policy.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Restart attempts allowed before giving up (0 = fail on first crash).
+    pub max_restarts: usize,
+    /// Coordinated checkpointing installed into every attempt; the
+    /// supervisor restores from the latest `step_*.ckpt` in this directory.
+    /// Overrides whatever `SwipeConfig::checkpoint` the caller set.
+    pub checkpoint: CheckpointConfig,
+}
+
+/// Why supervised training gave up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The failure is not a crash: restarting cannot fix a stage, schedule,
+    /// or checkpoint-validation error.
+    Unrecoverable { failure: TrainFailure },
+    /// Every allowed restart was consumed; `last` is the final failure.
+    RestartsExhausted { attempts: usize, last: TrainFailure },
+    /// The checkpoint directory could not be scanned or the selected
+    /// checkpoint's metadata could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Unrecoverable { failure } => {
+                write!(f, "unrecoverable failure: {failure}")
+            }
+            RecoveryError::RestartsExhausted { attempts, last } => {
+                write!(f, "restart budget exhausted after {attempts} restarts: {last}")
+            }
+            RecoveryError::Io(msg) => write!(f, "checkpoint selection failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// What supervised training reports back.
+pub struct RecoveryOutcome {
+    /// The successful attempt's report.
+    pub report: TrainReport,
+    /// Restart attempts consumed (0 = the first launch succeeded).
+    pub restarts: usize,
+    /// Steps of work re-executed across all failed attempts: per failure,
+    /// the furthest step the attempt is known (from its events) to have
+    /// reached, minus the step the next attempt resumed from. A lower bound
+    /// when the attempt died without logging its last step.
+    pub steps_lost: usize,
+    /// Every attempt's fault log, in order, with a
+    /// [`FaultEvent::RunResumed`] marker at each restart.
+    pub events: Vec<EventRecord>,
+}
+
+/// Run training under the supervisor, restarting from the latest coordinated
+/// checkpoint after each recoverable failure. Arguments mirror
+/// [`DistributedTrainer::train`]; `rcfg.checkpoint` replaces
+/// `cfg.checkpoint` so every attempt leaves restore points behind.
+///
+/// Determinism: a successful supervised run's losses and final parameters
+/// are bitwise identical to the uninterrupted run from the last resume step
+/// on (checkpoint restore is exact, and noise/diffusion times are stateless
+/// functions of `(seed, step)`).
+pub fn supervise(
+    reference: &AerisModel,
+    cfg: &SwipeConfig,
+    source: &(dyn WindowSource + Sync),
+    schedule: &[Vec<Vec<usize>>],
+    weights: &Tensor,
+    rcfg: &RecoveryConfig,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    let mut attempt_cfg = cfg.clone();
+    attempt_cfg.checkpoint = Some(rcfg.checkpoint.clone());
+    let mut restarts = 0usize;
+    let mut steps_lost = 0usize;
+    let mut events: Vec<EventRecord> = Vec::new();
+    loop {
+        let result = {
+            let _attempt = cfg
+                .tracer
+                .span(SpanCategory::Recovery, SUPERVISOR_ACTOR)
+                .label("attempt")
+                .step(restarts as u64);
+            DistributedTrainer::train(reference, &attempt_cfg, source, schedule, weights)
+        };
+        match result {
+            Ok(report) => {
+                events.extend(report.events.iter().cloned());
+                return Ok(RecoveryOutcome { report, restarts, steps_lost, events });
+            }
+            Err(failure) => {
+                if !recoverable(&failure.error) {
+                    return Err(RecoveryError::Unrecoverable { failure });
+                }
+                if restarts >= rcfg.max_restarts {
+                    return Err(RecoveryError::RestartsExhausted { attempts: restarts, last: failure });
+                }
+                restarts += 1;
+                let ckpt = latest_checkpoint(&rcfg.checkpoint.dir)
+                    .map_err(|e| RecoveryError::Io(e.to_string()))?;
+                let resume_step = match &ckpt {
+                    Some(path) => {
+                        checkpoint_step(path).map_err(|e| RecoveryError::Io(e.to_string()))?
+                    }
+                    None => 0,
+                };
+                steps_lost += reached_step(&failure).saturating_sub(resume_step);
+                // The resumed run replays the same step numbers: crashes that
+                // already fired must not fire again.
+                attempt_cfg.faults =
+                    attempt_cfg.faults.as_ref().map(|p| p.without_fired(&failure.events));
+                attempt_cfg.resume_from = ckpt;
+                events.extend(failure.events);
+                events.push(EventRecord {
+                    rank: SUPERVISOR_ACTOR,
+                    event: FaultEvent::RunResumed { attempt: restarts, from_step: resume_step },
+                });
+            }
+        }
+    }
+}
+
+/// Whether restarting can ride out this failure.
+fn recoverable(e: &SwipeError) -> bool {
+    matches!(e, SwipeError::Comm(_) | SwipeError::AllReplicasLost { .. })
+}
+
+/// The furthest step a failed attempt is known to have reached, from its
+/// typed error and event log.
+fn reached_step(failure: &TrainFailure) -> usize {
+    let mut reached = match failure.error {
+        SwipeError::AllReplicasLost { step } => step,
+        _ => 0,
+    };
+    for rec in &failure.events {
+        let s = match &rec.event {
+            FaultEvent::RankCrashed { step, .. } => *step,
+            FaultEvent::ReplicaRetired { step, .. } => *step,
+            FaultEvent::GroupRescaled { step, .. } => *step,
+            FaultEvent::RankRejoined { step, .. } => *step,
+            FaultEvent::ReplicaRejoined { step, .. } => *step,
+            FaultEvent::CheckpointSaved { next_step, .. } => *next_step,
+            _ => 0,
+        };
+        reached = reached.max(s);
+    }
+    reached
+}

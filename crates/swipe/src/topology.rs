@@ -103,6 +103,28 @@ impl SwipeTopology {
         (0..self.world_size()).collect()
     }
 
+    /// The within-replica ZeRO-1 group for stage-local parameters: same dp,
+    /// same stage, all wp × sp. Optimizer moments shard over this group and
+    /// are therefore *replicated across* data-parallel replicas (ORBIT-style
+    /// hybrid sharding) — its size never changes when replicas retire or
+    /// rejoin, so moment ownership survives membership churn, and any live
+    /// replica can re-shard a rejoining one by position alone.
+    pub fn replica_grad_group(&self, c: RankCoords) -> Vec<usize> {
+        self.stage_ranks(c.dp, c.stage)
+    }
+
+    /// The within-replica ZeRO-1 group for the shared time-conditioner
+    /// parameters: all interior (Swin-block) stages of one dp replica, sorted
+    /// (the shared params are absent from the edge stages).
+    pub fn replica_shared_group(&self, dp: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for stage in 1..self.pp - 1 {
+            out.extend(self.stage_ranks(dp, stage));
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// All ranks of the interior (Swin-block) stages, across dp/wp/sp — the
     /// reduction group for the shared time-conditioner parameters, which are
     /// replicated in every block stage but absent from the edge stages.
@@ -232,6 +254,32 @@ mod tests {
         assert_eq!(live, orig);
         orig.sort_unstable();
         assert_eq!(orig, sorted);
+    }
+
+    #[test]
+    fn replica_groups_are_dp_local_and_positionally_stable() {
+        let t = SwipeTopology::new(3, 4, 2, 1, 2);
+        for dp in 0..3 {
+            let c = RankCoords { dp, stage: 1, wp_row: 0, wp_col: 0, sp: 0 };
+            let g = t.replica_grad_group(t.coords_of(t.rank_of(c)));
+            assert_eq!(g.len(), t.wp() * t.sp);
+            for (i, &r) in g.iter().enumerate() {
+                let rc = t.coords_of(r);
+                assert_eq!((rc.dp, rc.stage), (dp, 1));
+                // Same position in every replica's group maps to the same
+                // model-parallel coordinates — the re-shard correspondence.
+                let r0 = t.replica_grad_group(RankCoords { dp: 0, ..c })[i];
+                let c0 = t.coords_of(r0);
+                assert_eq!((c0.stage, c0.wp_row, c0.wp_col, c0.sp), (rc.stage, rc.wp_row, rc.wp_col, rc.sp));
+            }
+            let s = t.replica_shared_group(dp);
+            assert_eq!(s.len(), (t.pp - 2) * t.wp() * t.sp);
+            for &r in &s {
+                let rc = t.coords_of(r);
+                assert_eq!(rc.dp, dp);
+                assert!(rc.stage >= 1 && rc.stage < t.pp - 1);
+            }
+        }
     }
 
     #[test]

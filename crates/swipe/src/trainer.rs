@@ -18,11 +18,19 @@
 //!   surviving groups shrink (in group order, keeping reductions
 //!   deterministic), and gradient averaging rescales to the surviving global
 //!   batch;
+//! - a planned restart ([`FaultPlan::restart_rank`]) re-admits a crashed
+//!   rank at a later step boundary: its replica parks through the outage,
+//!   the data-parallel groups regrow in group order, and a live donor
+//!   replica re-shards parameters plus its positionally-owned ZeRO-1
+//!   moments onto the rejoiner, after which the run proceeds bitwise as if
+//!   resumed from a checkpoint taken at the rejoin boundary;
 //! - coordinated checkpoints ([`CheckpointConfig`]) serialize the canonical
 //!   replica's parameters, each ZeRO-1 owner's AdamW moments, and the step
-//!   counters; [`SwipeConfig::resume_from`] restores them and — because
-//!   diffusion times and noise are stateless functions of `(seed, step)` —
-//!   reproduces the uninterrupted run bitwise from the checkpointed step on.
+//!   counters; [`SwipeConfig::resume_from`] restores them — into *any*
+//!   data-parallel width, since moments shard within a replica — and,
+//!   because diffusion times and noise are stateless functions of
+//!   `(seed, step)`, reproduces the uninterrupted run bitwise from the
+//!   checkpointed step on.
 
 use crate::comm::{CommClass, CommConfig, CommError, Communicator, TrafficReport, World};
 use crate::data::{gather, Field, WindowSource};
@@ -102,6 +110,49 @@ impl SwipeConfig {
     }
 }
 
+/// Why a checkpoint could not be written or restored.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem or decode failure (message carries the cause).
+    Io(String),
+    /// A required entry is absent from the checkpoint file.
+    MissingEntry(String),
+    /// The checkpoint's model-parallel grid differs from this run's. The
+    /// elastic re-shard path accepts any data-parallel width, but pp/wp/sp
+    /// shape the parameters themselves and must match exactly.
+    TopologyMismatch { checkpoint: SwipeTopology, run: SwipeTopology },
+    /// The checkpoint was written under a different base seed; resuming
+    /// would silently change every noise and diffusion-time realization.
+    SeedMismatch { checkpoint: u64, run: u64 },
+    /// A saved tensor's shape does not match the model's.
+    ShapeMismatch { name: String },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "I/O failure: {msg}"),
+            CheckpointError::MissingEntry(key) => write!(f, "missing entry {key}"),
+            CheckpointError::TopologyMismatch { checkpoint: c, run: r } => write!(
+                f,
+                "model-parallel topology mismatch: checkpoint written at \
+                 pp={} wp={}x{} sp={} (dp={}), this run is pp={} wp={}x{} sp={} (dp={}); \
+                 only the data-parallel width may differ on restore — relaunch with a \
+                 matching pp/wp/sp grid",
+                c.pp, c.wp_a, c.wp_b, c.sp, c.dp, r.pp, r.wp_a, r.wp_b, r.sp, r.dp
+            ),
+            CheckpointError::SeedMismatch { checkpoint, run } => write!(
+                f,
+                "seed mismatch: checkpoint written with seed {checkpoint}, this run uses \
+                 {run}; resume with the checkpoint's seed to reproduce its noise stream"
+            ),
+            CheckpointError::ShapeMismatch { name } => {
+                write!(f, "shape mismatch for {name}")
+            }
+        }
+    }
+}
+
 /// A typed distributed-training failure.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SwipeError {
@@ -111,8 +162,8 @@ pub enum SwipeError {
     Stage(StageError),
     /// The pipeline schedule could not be built.
     Schedule(ScheduleError),
-    /// Checkpoint I/O or validation failed (message carries the cause).
-    Checkpoint(String),
+    /// Checkpoint I/O or validation failed.
+    Checkpoint(CheckpointError),
     /// Every data-parallel replica was lost to planned crashes.
     AllReplicasLost { step: usize },
 }
@@ -123,7 +174,7 @@ impl std::fmt::Display for SwipeError {
             SwipeError::Comm(e) => write!(f, "communication failure: {e}"),
             SwipeError::Stage(e) => write!(f, "stage construction failure: {e}"),
             SwipeError::Schedule(e) => write!(f, "schedule failure: {e}"),
-            SwipeError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            SwipeError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             SwipeError::AllReplicasLost { step } => {
                 write!(f, "all data-parallel replicas lost by step {step}")
             }
@@ -132,6 +183,12 @@ impl std::fmt::Display for SwipeError {
 }
 
 impl std::error::Error for SwipeError {}
+
+impl From<CheckpointError> for SwipeError {
+    fn from(e: CheckpointError) -> Self {
+        SwipeError::Checkpoint(e)
+    }
+}
 
 impl From<CommError> for SwipeError {
     fn from(e: CommError) -> Self {
@@ -281,29 +338,50 @@ struct ResumeState {
     moments: HashMap<String, Tensor>,
 }
 
-fn ckpt_err(msg: impl std::fmt::Display) -> SwipeError {
-    SwipeError::Checkpoint(msg.to_string())
+fn ckpt_io(msg: impl std::fmt::Display) -> SwipeError {
+    SwipeError::Checkpoint(CheckpointError::Io(msg.to_string()))
 }
 
 /// Load and validate a checkpoint written by [`run_rank`]'s save protocol.
+///
+/// Restore is world-size independent across the data-parallel axis: the file
+/// holds the full (replicated) parameter set and the full moment tensor of
+/// every parameter, so any DP width can re-derive its within-replica ZeRO-1
+/// ownership positionally. Only the model-parallel grid (pp/wp/sp), which
+/// shapes the stage shards themselves, and the seed, which drives the noise
+/// stream, are required to match.
 fn load_resume_state(
     reference: &AerisModel,
     cfg: &SwipeConfig,
     path: &Path,
 ) -> Result<ResumeState, SwipeError> {
-    let entries = load_entries(path).map_err(ckpt_err)?;
+    let entries = load_entries(path).map_err(ckpt_io)?;
     let map: HashMap<String, Tensor> = entries.into_iter().collect();
     let get_u64 = |key: &str| -> Result<u64, SwipeError> {
-        entry_u64(map.get(key).ok_or_else(|| ckpt_err(format!("missing {key}")))?)
-            .map_err(ckpt_err)
+        entry_u64(
+            map.get(key)
+                .ok_or_else(|| CheckpointError::MissingEntry(key.to_string()))?,
+        )
+        .map_err(ckpt_io)
     };
     let start_step = get_u64("meta/step")? as usize;
     let adamw_steps = get_u64("meta/adamw_steps")?;
-    if get_u64("meta/world")? as usize != cfg.topo.world_size() {
-        return Err(ckpt_err("checkpoint topology does not match this run"));
+    let ckpt_topo = SwipeTopology {
+        dp: get_u64("meta/topo_dp")? as usize,
+        pp: get_u64("meta/topo_pp")? as usize,
+        wp_a: get_u64("meta/topo_wp_a")? as usize,
+        wp_b: get_u64("meta/topo_wp_b")? as usize,
+        sp: get_u64("meta/topo_sp")? as usize,
+    };
+    let run = cfg.topo;
+    if (ckpt_topo.pp, ckpt_topo.wp_a, ckpt_topo.wp_b, ckpt_topo.sp)
+        != (run.pp, run.wp_a, run.wp_b, run.sp)
+    {
+        return Err(CheckpointError::TopologyMismatch { checkpoint: ckpt_topo, run }.into());
     }
-    if get_u64("meta/seed")? != cfg.seed {
-        return Err(ckpt_err("checkpoint seed does not match this run"));
+    let saved_seed = get_u64("meta/seed")?;
+    if saved_seed != cfg.seed {
+        return Err(CheckpointError::SeedMismatch { checkpoint: saved_seed, run: cfg.seed }.into());
     }
     let mut model = AerisModel::new(reference.cfg.clone());
     let ids: Vec<(ParamId, String)> =
@@ -311,14 +389,25 @@ fn load_resume_state(
     for (id, name) in ids {
         let saved = map
             .get(&format!("param/{name}"))
-            .ok_or_else(|| ckpt_err(format!("checkpoint missing parameter {name}")))?;
+            .ok_or_else(|| CheckpointError::MissingEntry(format!("param/{name}")))?;
         if saved.shape() != model.store.get(id).shape() {
-            return Err(ckpt_err(format!("shape mismatch for parameter {name}")));
+            return Err(CheckpointError::ShapeMismatch { name }.into());
         }
         *model.store.get_mut(id) = saved.clone();
     }
     let moments = map.into_iter().filter(|(k, _)| k.starts_with("opt.")).collect();
     Ok(ResumeState { start_step, adamw_steps, model, moments })
+}
+
+/// Read just the resume step (`meta/step`) of a checkpoint file.
+pub fn checkpoint_step(path: &Path) -> Result<usize, SwipeError> {
+    let entries = load_entries(path).map_err(ckpt_io)?;
+    let t = entries
+        .iter()
+        .find(|(k, _)| k == "meta/step")
+        .map(|(_, t)| t)
+        .ok_or_else(|| CheckpointError::MissingEntry("meta/step".to_string()))?;
+    Ok(entry_u64(t).map_err(ckpt_io)? as usize)
 }
 
 /// The distributed trainer entry point.
@@ -485,15 +574,23 @@ fn run_rank(
     };
     let my_weight_rows = gather(weights, &my_tokens);
 
-    // ZeRO-1 ownership: stage-local params shard over the stage's gradient
-    // group; globally shared (time.*) params shard over all ranks.
+    // Gradient reduction still spans the full cross-replica groups: the
+    // stage's DP×WP×SP group for stage-local params, and (for the shared
+    // time-conditioner params, which the edge stages do not hold) the
+    // interior stages across all replicas.
     let grad_group = topo.grad_group(coords);
     let all_ranks = topo.all_ranks();
-    // Shared (time-conditioner) params are replicated across the interior
-    // stages only; their reduction group must exclude the edge stages, which
-    // do not hold them (they would otherwise never join the collective).
     let shared_group = topo.block_stage_ranks();
     let shared_ixs: Vec<usize> = stage_model.shared_param_ixs();
+    // Hybrid ZeRO-1 ownership (ORBIT-style): optimizer moments shard
+    // *within* each data-parallel replica and replicate *across* replicas.
+    // Every owner sees the same reduced gradient and therefore the same
+    // moment history, so parameters evolve bitwise as with global sharding —
+    // but the owner groups never change size when replicas retire or rejoin,
+    // which keeps moment ownership stable under membership churn and lets
+    // any live replica re-shard a rejoining one positionally.
+    let replica_group = topo.replica_grad_group(coords);
+    let replica_shared = topo.replica_shared_group(coords.dp);
     let mut opt = AdamW::new(&stage_model.store, cfg.adamw);
     let mut stage_model = stage_model;
 
@@ -509,7 +606,10 @@ fn run_rank(
                     let state = opt.state_mut(i);
                     let target = if slot == 0 { state.0 } else { state.1 };
                     if saved.shape() != target.shape() {
-                        return Err(ckpt_err(format!("moment shape mismatch for {name}")));
+                        return Err(CheckpointError::ShapeMismatch {
+                            name: format!("{prefix}{name}"),
+                        }
+                        .into());
                     }
                     *target = saved.clone();
                 }
@@ -520,43 +620,128 @@ fn run_rank(
 
     let actions = try_one_f_one_b(coords.stage, topo.pp, cfg.gas)?;
     let dim = mcfg.dim;
+    let tracer = comm.world().tracer().clone();
     let mut prev_live_dp = topo.dp;
+    // Elastic state: `Some(guard)` while this rank is parked waiting out a
+    // fault window; the open Outage span closes at rejoin, so balanced
+    // Outage pairs prove every parked replica that was due back came back.
+    let mut outage: Option<aeris_obs::SpanGuard> = None;
+    let mut was_out = false;
 
     for step in start_step..cfg.n_steps {
         comm.set_trace_step(step as u64);
+        let plan = cfg.faults.as_ref();
         // ---- step-boundary fault-plan reconfiguration ----
         // The plan is shared knowledge: every rank derives the same dead set
         // for this step without any agreement protocol.
-        if comm.planned_crash(step) {
-            return Ok(());
-        }
-        let dead_dps = match cfg.faults.as_ref() {
-            Some(plan) => topo.dead_dps(&plan.dead_ranks_at(step)),
+        let crashed_now = comm.planned_crash(step);
+        let dead_dps = match plan {
+            Some(p) => topo.dead_dps(&p.dead_ranks_at(step)),
             None => Vec::new(),
         };
-        if dead_dps.contains(&coords.dp) {
-            // A member of my replica crashed: the whole replica retires.
-            comm.world().events().record(
-                comm.rank(),
-                FaultEvent::ReplicaRetired { rank: comm.rank(), dp: coords.dp, step },
-            );
-            if dead_dps.len() == topo.dp {
-                return Err(SwipeError::AllReplicasLost { step });
-            }
-            return Ok(());
-        }
         let live_dp = topo.dp - dead_dps.len();
-        let grad_group_live = topo.filter_live(&grad_group, &dead_dps);
-        let shared_group_live = topo.filter_live(&shared_group, &dead_dps);
         let all_live = topo.filter_live(&all_ranks, &dead_dps);
         if live_dp != prev_live_dp {
             prev_live_dp = live_dp;
-            if comm.rank() == all_live[0] {
+            if Some(&comm.rank()) == all_live.first() {
                 comm.world()
                     .events()
                     .record(comm.rank(), FaultEvent::GroupRescaled { step, live_dp });
             }
         }
+        if dead_dps.contains(&coords.dp) {
+            if !was_out {
+                // Transition: a member of my replica crashed, and the whole
+                // replica leaves together (the crasher itself already logged
+                // RankCrashed inside `planned_crash`).
+                if !crashed_now {
+                    comm.world().events().record(
+                        comm.rank(),
+                        FaultEvent::ReplicaRetired { rank: comm.rank(), dp: coords.dp, step },
+                    );
+                }
+                if dead_dps.len() == topo.dp {
+                    return Err(SwipeError::AllReplicasLost { step });
+                }
+                // Park only if the replica is scheduled to come back inside
+                // this run; otherwise retire for good (the shrink-only path).
+                let rejoins = plan.is_some_and(|p| {
+                    (step + 1..cfg.n_steps)
+                        .any(|s| !topo.dead_dps(&p.dead_ranks_at(s)).contains(&coords.dp))
+                });
+                if !rejoins {
+                    return Ok(());
+                }
+                was_out = true;
+                outage = Some(tracer.span(SpanCategory::Outage, comm.rank()).step(step as u64));
+            }
+            // Parked: skip the step without touching the world — peers use
+            // groups that exclude this replica until the window closes.
+            continue;
+        }
+
+        // ---- elastic rejoin preamble ----
+        // Every live rank re-admits the ranks whose fault window ends at
+        // this boundary *before issuing any step traffic*, so nobody can
+        // observe a stale dead flag on a peer it is about to wait on (the
+        // revive is idempotent across ranks).
+        let rejoining_dps: Vec<usize> = match plan {
+            Some(p) if step > start_step => topo
+                .dead_dps(&p.dead_ranks_at(step - 1))
+                .into_iter()
+                .filter(|dp| !dead_dps.contains(dp))
+                .collect(),
+            _ => Vec::new(),
+        };
+        for &dp in &rejoining_dps {
+            for stage in 0..topo.pp {
+                for r in topo.stage_ranks(dp, stage) {
+                    comm.world().revive(r);
+                }
+            }
+        }
+        if was_out {
+            // This rank is rejoining: close the outage window and receive a
+            // re-sharded copy of a live replica's state.
+            was_out = false;
+            drop(outage.take());
+            let event = if plan
+                .and_then(|p| p.crash_step(comm.rank()))
+                .is_some_and(|c| c < step)
+            {
+                FaultEvent::RankRejoined { rank: comm.rank(), step }
+            } else {
+                FaultEvent::ReplicaRejoined { rank: comm.rank(), dp: coords.dp, step }
+            };
+            comm.world().events().record(comm.rank(), event);
+            let donor_dp = donor_dp(&topo, &dead_dps, &rejoining_dps)
+                .ok_or(SwipeError::AllReplicasLost { step })?;
+            let donor = topo.rank_of(RankCoords { dp: donor_dp, ..coords });
+            let _reshard = comm.trace_span(SpanCategory::Recovery).label("reshard_recv");
+            let payload = comm.recv(donor)?;
+            apply_rejoin_state(
+                &mut stage_model, &mut opt, &shared_ixs, &replica_group, &replica_shared,
+                comm.rank(), payload,
+            );
+        } else if !rejoining_dps.is_empty() && donor_dp(&topo, &dead_dps, &rejoining_dps) == Some(coords.dp)
+        {
+            // Donor side: the lowest replica that stayed live across the
+            // boundary re-shards its state to each rejoining replica's
+            // same-coordinates rank. One message carries the full parameter
+            // set (store order), the moment pairs this position owns under
+            // the within-replica sharding (identical positions own identical
+            // shards in every replica), and the AdamW step counter.
+            let _reshard = comm.trace_span(SpanCategory::Recovery).label("reshard_send");
+            let payload = rejoin_state_payload(
+                &stage_model, &opt, &shared_ixs, &replica_group, &replica_shared, comm.rank(),
+            );
+            for &dp in &rejoining_dps {
+                let dst = topo.rank_of(RankCoords { dp, ..coords });
+                comm.send(dst, CommClass::AllGather, payload.clone())?;
+            }
+        }
+        let grad_group_live = topo.filter_live(&grad_group, &dead_dps);
+        let shared_group_live = topo.filter_live(&shared_group, &dead_dps);
 
         let mut runs: HashMap<usize, StageRun> = HashMap::new();
         let mut grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
@@ -698,14 +883,17 @@ fn run_rank(
             grads[i] = Some(reduced);
         }
 
-        // ---- ZeRO-1 sharded optimizer ----
-        // Owner updates its shard with AdamW state, then broadcasts the fresh
-        // parameter to the group.
+        // ---- ZeRO-1 sharded optimizer (hybrid, within-replica) ----
+        // Each parameter's within-replica owner updates it with AdamW state,
+        // then broadcasts the fresh value inside the replica. Owner groups
+        // never shrink (live replicas are always whole), and every replica's
+        // owners compute bitwise-identical updates from the shared reduced
+        // gradient.
         let _opt_span = comm.trace_span(SpanCategory::OptimizerStep);
         let mut own_grads: Vec<Option<Tensor>> = vec![None; stage_model.store.len()];
         for i in 0..stage_model.store.len() {
             let group: &[usize] =
-                if shared_ixs.contains(&i) { &shared_group_live } else { &grad_group_live };
+                if shared_ixs.contains(&i) { &replica_shared } else { &replica_group };
             let owner = group[i % group.len()];
             if owner == comm.rank() {
                 own_grads[i] = grads[i].take();
@@ -714,7 +902,7 @@ fn run_rank(
         opt.step(&mut stage_model.store, &own_grads, cfg.lr);
         for i in 0..stage_model.store.len() {
             let group: &[usize] =
-                if shared_ixs.contains(&i) { &shared_group_live } else { &grad_group_live };
+                if shared_ixs.contains(&i) { &replica_shared } else { &replica_group };
             let owner_ix = i % group.len();
             let value = if group[owner_ix] == comm.rank() {
                 Some(stage_model.store.get(ParamId(i)).clone())
@@ -743,8 +931,7 @@ fn run_rank(
             let _ckpt = comm.trace_span(SpanCategory::Checkpoint);
             save_checkpoint(
                 &mut comm, &topo, cfg, coords, &stage_model, &opt, &shared_ixs,
-                &grad_group_live, &shared_group_live, &all_live, &dead_dps, ckpt_buf, ck,
-                step,
+                &replica_group, &replica_shared, &all_live, &dead_dps, ckpt_buf, ck, step,
             )?;
         }
     }
@@ -769,8 +956,12 @@ fn run_rank(
 
 /// Coordinated checkpoint save: each rank contributes its slice into the
 /// shared buffer, everyone synchronizes, and the lowest live rank writes the
-/// file. The canonical (lowest surviving dp, wp=(0,0), sp=0) replica covers
-/// parameters; each ZeRO-1 owner covers its AdamW moments.
+/// file. The canonical (lowest surviving dp) replica covers everything: its
+/// wp=(0,0)/sp=0 ranks cover parameters, and its within-replica ZeRO-1
+/// owners cover the AdamW moments (moments are replicated across replicas
+/// under hybrid sharding, so one replica's copy is the global truth). The
+/// result is world-size independent along the data-parallel axis — any DP
+/// width restores it by re-deriving positional ownership.
 #[allow(clippy::too_many_arguments)]
 fn save_checkpoint(
     comm: &mut Communicator,
@@ -780,8 +971,8 @@ fn save_checkpoint(
     stage_model: &StageModel,
     opt: &AdamW,
     shared_ixs: &[usize],
-    grad_group_live: &[usize],
-    shared_group_live: &[usize],
+    replica_group: &[usize],
+    replica_shared: &[usize],
     all_live: &[usize],
     dead_dps: &[usize],
     ckpt_buf: &Mutex<HashMap<String, Tensor>>,
@@ -799,8 +990,8 @@ fn save_checkpoint(
                 buf.insert(format!("param/{name}"), stage_model.store.get(ParamId(i)).clone());
             }
             let group: &[usize] =
-                if shared_ixs.contains(&i) { shared_group_live } else { grad_group_live };
-            if group[i % group.len()] == comm.rank() {
+                if shared_ixs.contains(&i) { replica_shared } else { replica_group };
+            if coords.dp == canonical_dp && group[i % group.len()] == comm.rank() {
                 let (m, v) = opt.state(i);
                 buf.insert(format!("opt.m/{name}"), m.clone());
                 buf.insert(format!("opt.v/{name}"), v.clone());
@@ -819,9 +1010,14 @@ fn save_checkpoint(
         entries.push(u64_entry("meta/adamw_steps", opt.steps()));
         entries.push(u64_entry("meta/world", topo.world_size() as u64));
         entries.push(u64_entry("meta/seed", cfg.seed));
+        entries.push(u64_entry("meta/topo_dp", topo.dp as u64));
+        entries.push(u64_entry("meta/topo_pp", topo.pp as u64));
+        entries.push(u64_entry("meta/topo_wp_a", topo.wp_a as u64));
+        entries.push(u64_entry("meta/topo_wp_b", topo.wp_b as u64));
+        entries.push(u64_entry("meta/topo_sp", topo.sp as u64));
         let path = ck.dir.join(format!("step_{:06}.ckpt", step + 1));
-        std::fs::create_dir_all(&ck.dir).map_err(ckpt_err)?;
-        save_entries(&entries, &path).map_err(ckpt_err)?;
+        std::fs::create_dir_all(&ck.dir).map_err(ckpt_io)?;
+        save_entries(&entries, &path).map_err(ckpt_io)?;
         comm.world().events().record(
             comm.rank(),
             FaultEvent::CheckpointSaved { next_step: step + 1, path: path.display().to_string() },
@@ -831,6 +1027,81 @@ fn save_checkpoint(
     // is still draining this one.
     comm.barrier(all_live)?;
     Ok(())
+}
+
+/// The replica that re-shards state to rejoiners at a boundary: the lowest
+/// dp that is live this step and did not itself just rejoin (its state spans
+/// the whole outage). `None` when every live replica is freshly rejoining —
+/// the run's state is unrecoverable in-world and the supervisor must restore
+/// from a checkpoint.
+fn donor_dp(topo: &SwipeTopology, dead_dps: &[usize], rejoining_dps: &[usize]) -> Option<usize> {
+    (0..topo.dp).find(|dp| !dead_dps.contains(dp) && !rejoining_dps.contains(dp))
+}
+
+/// The single-message state transfer a donor sends each rejoiner: every
+/// stage parameter in store order, then the (m, v) moment pair of each
+/// parameter this position owns under the within-replica ZeRO-1 sharding,
+/// then the bit-encoded AdamW step counter. The rejoiner's same-coordinates
+/// rank owns exactly the same positions, so no index map is transferred.
+fn rejoin_state_payload(
+    stage_model: &StageModel,
+    opt: &AdamW,
+    shared_ixs: &[usize],
+    replica_group: &[usize],
+    replica_shared: &[usize],
+    rank: usize,
+) -> Vec<Tensor> {
+    let n = stage_model.store.len();
+    let mut payload = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        payload.push(stage_model.store.get(ParamId(i)).clone());
+    }
+    for i in 0..n {
+        let group: &[usize] = if shared_ixs.contains(&i) { replica_shared } else { replica_group };
+        if group[i % group.len()] == rank {
+            let (m, v) = opt.state(i);
+            payload.push(m.clone());
+            payload.push(v.clone());
+        }
+    }
+    payload.push(u64_entry("", opt.steps()).1);
+    payload
+}
+
+/// Apply a donor's re-shard payload (inverse of [`rejoin_state_payload`];
+/// both sides derive the owned set positionally, so layout mismatches are
+/// protocol bugs, not runtime conditions — hence the asserts).
+fn apply_rejoin_state(
+    stage_model: &mut StageModel,
+    opt: &mut AdamW,
+    shared_ixs: &[usize],
+    replica_group: &[usize],
+    replica_shared: &[usize],
+    rank: usize,
+    payload: Vec<Tensor>,
+) {
+    let n = stage_model.store.len();
+    let mut it = payload.into_iter();
+    for i in 0..n {
+        let fresh = it.next().expect("re-shard payload missing a parameter");
+        assert_eq!(fresh.shape(), stage_model.store.get(ParamId(i)).shape());
+        *stage_model.store.get_mut(ParamId(i)) = fresh;
+    }
+    for i in 0..n {
+        let group: &[usize] = if shared_ixs.contains(&i) { replica_shared } else { replica_group };
+        if group[i % group.len()] == rank {
+            let m = it.next().expect("re-shard payload missing a first moment");
+            let v = it.next().expect("re-shard payload missing a second moment");
+            let (m_slot, v_slot) = opt.state_mut(i);
+            assert_eq!(m.shape(), m_slot.shape());
+            *m_slot = m;
+            *v_slot = v;
+        }
+    }
+    let steps = entry_u64(&it.next().expect("re-shard payload missing the step counter"))
+        .expect("malformed step counter in re-shard payload");
+    opt.set_steps(steps);
+    assert!(it.next().is_none(), "re-shard payload has trailing tensors");
 }
 
 /// Send a relayouted activation to the next stage.

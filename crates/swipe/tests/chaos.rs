@@ -364,6 +364,63 @@ fn resume_rejects_mismatched_checkpoint() {
     std::fs::remove_dir_all(&tmp).ok();
 }
 
+/// Span-replay audit of an elastic outage: with tracing on, a crash→rejoin
+/// window leaves balanced spans (every opened Outage closed — the parked
+/// replica came back), one Outage span per parked rank, and a re-shard
+/// send/recv pair per rejoining rank; the retire and rejoin events pair up
+/// the same way.
+#[test]
+fn rejoin_outage_spans_and_events_are_balanced() {
+    let cfg = tiny_cfg();
+    let samples = random_samples(8, cfg.tokens(), cfg.channels);
+    let source = aeris_swipe::data::InMemorySource { samples };
+    let weights = weights_for(&cfg);
+    let topo = SwipeTopology::new(2, 4, 1, 1, 1);
+    let sched = schedule(4, 2, 1, 8);
+    let reference = AerisModel::new(cfg);
+
+    let tracer = aeris_obs::Tracer::enabled();
+    let elastic_cfg = SwipeConfig {
+        n_steps: 4,
+        faults: Some(FaultPlan::new().crash_rank(5, 1).restart_rank(5, 3)),
+        tracer: tracer.clone(),
+        ..SwipeConfig::new(topo)
+    };
+    let report = DistributedTrainer::train(&reference, &elastic_cfg, &source, &sched, &weights)
+        .expect("rejoin run");
+
+    let spans = tracer.snapshot_spans();
+    aeris_obs::verify_balanced(&spans).expect("span replay must balance");
+    let outages: Vec<_> =
+        spans.iter().filter(|s| s.category == aeris_obs::SpanCategory::Outage).collect();
+    assert_eq!(outages.len(), 4, "one closed Outage span per parked rank of dp=1");
+    for s in &outages {
+        assert_eq!(s.step, Some(1), "outage opens at the crash boundary");
+        assert!(s.dur_ns() > 0);
+        assert!((4..8).contains(&s.actor), "outage on a dp=1 rank, got actor {}", s.actor);
+    }
+    let reshard = |label: &str| {
+        spans
+            .iter()
+            .filter(|s| s.category == aeris_obs::SpanCategory::Recovery && s.label == label)
+            .count()
+    };
+    assert_eq!(reshard("reshard_recv"), 4, "each rejoiner receives one re-shard");
+    assert_eq!(reshard("reshard_send"), 4, "the donor re-shards to each rejoiner");
+
+    // Event balance mirrors the span balance: every retirement has a rejoin.
+    let count = |pred: &dyn Fn(&FaultEvent) -> bool| {
+        report.events.iter().filter(|r| pred(&r.event)).count()
+    };
+    let retired =
+        count(&|e| matches!(e, FaultEvent::RankCrashed { .. }))
+            + count(&|e| matches!(e, FaultEvent::ReplicaRetired { .. }));
+    let rejoined = count(&|e| matches!(e, FaultEvent::RankRejoined { .. }))
+        + count(&|e| matches!(e, FaultEvent::ReplicaRejoined { .. }));
+    assert_eq!(retired, 4);
+    assert_eq!(retired, rejoined, "retire/rejoin events must pair up");
+}
+
 /// Delay faults on the trainer's own message channels change timing only:
 /// the full distributed training result is bitwise identical.
 #[test]

@@ -131,22 +131,21 @@ fn main() {
         resp.cache_hits
     );
 
-    // A request with an impossible latency budget is shed, not queued forever.
-    let doomed = engine
-        .submit(ForecastRequest {
-            init: ds.state(80).clone(),
-            forcings: Forcings::Zeros { channels: 3 },
-            steps: 8,
-            n_members: 4,
-            seed: 99,
-            deadline: Some(Duration::ZERO),
-        })
-        .expect("admitted");
-    match doomed.wait() {
+    // A request with an impossible latency budget is shed at admission —
+    // the engine refuses to queue work whose deadline can't be met.
+    match engine.submit(ForecastRequest {
+        init: ds.state(80).clone(),
+        forcings: Forcings::Zeros { channels: 3 },
+        steps: 8,
+        n_members: 4,
+        seed: 99,
+        deadline: Some(Duration::ZERO),
+    }) {
         Err(ServeError::DeadlineExceeded { req }) => {
-            println!("request {req}: shed (deadline exceeded), as intended")
+            println!("request {req}: shed at admission (deadline exceeded), as intended")
         }
-        other => println!("unexpected outcome for doomed request: ok={}", other.is_ok()),
+        Ok(ticket) => println!("unexpected: doomed request {} was admitted", ticket.id()),
+        Err(other) => println!("unexpected admission failure: {other:?}"),
     }
 
     // Graceful drain + ops report.

@@ -93,9 +93,9 @@ fn concurrent_load_is_deterministic_batched_and_cached() {
 
     // Load generator: 6 concurrent clients, 3 requests each. Each client
     // mixes an unbounded request, one with a generous deadline (never
-    // expires), and a zero-deadline request on a private seed (always
-    // expires: nothing of it is ever cached, and `now >= deadline` holds at
-    // every dequeue).
+    // expires), and a zero-deadline request on a private seed (always shed:
+    // nothing of it is ever cached, so its spent budget fails it at
+    // admission).
     let handles: Vec<_> = (0..6u64)
         .map(|client| {
             let engine = Arc::clone(&engine);
@@ -107,9 +107,15 @@ fn concurrent_load_is_deterministic_batched_and_cached() {
                     (doomed_seed, Some(Duration::ZERO)),
                 ];
                 mix.iter()
-                    .map(|&(seed, deadline)| {
-                        let ticket = engine.submit(request(seed, deadline)).expect("admitted");
-                        (seed, deadline, ticket.id(), ticket.wait())
+                    .map(|&(seed, deadline)| match engine.submit(request(seed, deadline)) {
+                        Ok(ticket) => (seed, deadline, ticket.id(), ticket.wait()),
+                        // Admission-time shed: the engine resolved the
+                        // request before queuing it; the typed error still
+                        // carries the allocated request id.
+                        Err(err @ ServeError::DeadlineExceeded { req }) => {
+                            (seed, deadline, req, Err(err))
+                        }
+                        Err(err) => panic!("unexpected admission failure: {err:?}"),
                     })
                     .collect::<Vec<_>>()
             })
@@ -161,6 +167,7 @@ fn concurrent_load_is_deterministic_batched_and_cached() {
         "expected at least one multi-task batch"
     );
     assert_eq!(report.completed, 12, "6 clients x 2 live requests each");
+    assert_eq!(report.shed, 6, "each client's zero-deadline request was shed");
     assert_eq!(report.metrics.latency_ms.count(), 12);
 }
 
