@@ -1,0 +1,497 @@
+//! Observation operators: sparse, typed forward maps from gridded states to
+//! point observations, and the containers that carry the observed values.
+//!
+//! An operator is a list of (token, channel) sites plus per-channel
+//! observation-error standard deviations. `H(x)` gathers the state at the
+//! sites; the adjoint `Hᵀ y` scatters observation-space values back onto the
+//! grid. Two synthetic network generators cover the paper-adjacent cases: a
+//! seeded station network (uniform random distinct grid cells, the in-situ
+//! analog) and a satellite ground track (a sinusoidal sweep in latitude while
+//! the longitude precesses, the polar-orbiter analog).
+
+use aeris_earthsim::Grid;
+use aeris_tensor::{Rng, Tensor};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// FNV-1a over a stream of u64 words (same constants as the serve cache).
+fn fnv_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One observed scalar: channel `channel` of grid cell `token`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObsSite {
+    pub token: usize,
+    pub channel: usize,
+}
+
+/// A sparse observation operator `H`: site list + per-channel observation
+/// error. Sites are unique (token, channel) pairs, so `Hᵀ` is a plain
+/// scatter.
+#[derive(Clone, Debug)]
+pub struct ObsOperator {
+    /// Observed (token, channel) sites, in generation order.
+    pub sites: Vec<ObsSite>,
+    /// Observation-error standard deviation per *state channel* (R is
+    /// diagonal with `noise_std[channel]²` at each site).
+    pub noise_std: Vec<f32>,
+    /// Grid size the operator is defined over (state rows).
+    pub tokens: usize,
+    /// State channels (state columns).
+    pub channels: usize,
+}
+
+impl ObsOperator {
+    /// A random station network: `n_stations` distinct grid cells (seeded
+    /// Fisher–Yates draw), each reporting every channel in `channels_obs`.
+    ///
+    /// Panics if `channels_obs` names a channel outside the state, if any
+    /// `noise_std` entry is not strictly positive, or if `n_stations`
+    /// exceeds the number of grid cells.
+    pub fn stations(
+        grid: &Grid,
+        n_stations: usize,
+        channels_obs: &[usize],
+        noise_std: &[f32],
+        seed: u64,
+    ) -> Self {
+        let channels = noise_std.len();
+        validate_channels(channels_obs, noise_std, channels);
+        assert!(
+            n_stations <= grid.tokens(),
+            "{n_stations} stations exceed {} grid cells",
+            grid.tokens()
+        );
+        let mut rng = Rng::seed_from(seed).stream(0x57A7_1045);
+        let toks = rng.choose_indices(grid.tokens(), n_stations);
+        let mut sites = Vec::with_capacity(n_stations * channels_obs.len());
+        for &tok in &toks {
+            for &ch in channels_obs {
+                sites.push(ObsSite { token: tok, channel: ch });
+            }
+        }
+        ObsOperator { sites, noise_std: noise_std.to_vec(), tokens: grid.tokens(), channels }
+    }
+
+    /// A satellite ground track: `n_samples` along-track footprints whose
+    /// latitude sweeps sinusoidally up to ±`max_lat_deg` while the longitude
+    /// precesses through `n_orbits` revolutions, with a seeded phase offset.
+    /// Footprints that land in an already-observed cell are dropped, so sites
+    /// stay unique.
+    pub fn satellite_track(
+        grid: &Grid,
+        n_samples: usize,
+        n_orbits: usize,
+        max_lat_deg: f32,
+        channels_obs: &[usize],
+        noise_std: &[f32],
+        seed: u64,
+    ) -> Self {
+        let channels = noise_std.len();
+        validate_channels(channels_obs, noise_std, channels);
+        assert!(n_orbits >= 1, "need at least one orbit");
+        let mut rng = Rng::seed_from(seed).stream(0x5A7E_1117);
+        let phase0 = rng.uniform(0.0, std::f32::consts::TAU);
+        let lon0 = rng.uniform(0.0, 360.0);
+        let mut seen = std::collections::HashSet::new();
+        let mut sites = Vec::new();
+        for i in 0..n_samples {
+            let frac = i as f32 / n_samples.max(1) as f32;
+            // One sinusoidal latitude oscillation per orbit; the longitude
+            // precesses uniformly so successive orbits interleave.
+            let phase = phase0 + std::f32::consts::TAU * frac * n_orbits as f32;
+            let lat = max_lat_deg * phase.sin();
+            let lon = lon0 + 360.0 * frac * n_orbits as f32 + 180.0 * frac;
+            let tok = grid.token_of(lat, lon);
+            for &ch in channels_obs {
+                if seen.insert((tok, ch)) {
+                    sites.push(ObsSite { token: tok, channel: ch });
+                }
+            }
+        }
+        ObsOperator { sites, noise_std: noise_std.to_vec(), tokens: grid.tokens(), channels }
+    }
+
+    /// Number of observed scalars.
+    pub fn n_obs(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Forward map `H(x)`: gather the state at each site into an
+    /// observation-space vector `[n_obs]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), [self.tokens, self.channels], "state shape mismatch");
+        let data = x.data();
+        let y: Vec<f32> =
+            self.sites.iter().map(|s| data[s.token * self.channels + s.channel]).collect();
+        Tensor::from_vec(&[self.n_obs()], y)
+    }
+
+    /// Adjoint `Hᵀ y`: scatter an observation-space vector back onto the
+    /// grid, `[tokens, channels]`. Satisfies `⟨Hx, y⟩ = ⟨x, Hᵀy⟩` exactly
+    /// (sites are unique, so no accumulation-order ambiguity).
+    pub fn adjoint(&self, y: &Tensor) -> Tensor {
+        assert_eq!(y.shape(), [self.n_obs()], "observation vector length mismatch");
+        let mut out = Tensor::zeros(&[self.tokens, self.channels]);
+        let data = out.data_mut();
+        for (s, &v) in self.sites.iter().zip(y.data()) {
+            data[s.token * self.channels + s.channel] += v;
+        }
+        out
+    }
+
+    /// Simulate observing a truth state: `y = H(truth) + ε` with
+    /// `ε ~ N(0, noise_std[channel]²)` per site, plus a missing-data mask
+    /// dropping each observation independently with probability
+    /// `missing_frac`. Deterministic given `seed`.
+    pub fn observe(&self, truth: &Tensor, missing_frac: f32, seed: u64) -> ObservationSet {
+        assert!((0.0..=1.0).contains(&missing_frac), "missing_frac {missing_frac} not in [0,1]");
+        let clean = self.forward(truth);
+        let mut rng = Rng::seed_from(seed).stream(0x0B5E_4ED1);
+        let values: Vec<f32> = self
+            .sites
+            .iter()
+            .zip(clean.data())
+            .map(|(s, &v)| v + self.noise_std[s.channel] * rng.normal())
+            .collect();
+        let mask: Vec<bool> =
+            (0..self.n_obs()).map(|_| rng.uniform(0.0, 1.0) >= missing_frac).collect();
+        ObservationSet {
+            sites: self.sites.clone(),
+            values,
+            noise_std: self.noise_std.clone(),
+            mask,
+            tokens: self.tokens,
+            channels: self.channels,
+        }
+    }
+}
+
+fn validate_channels(channels_obs: &[usize], noise_std: &[f32], channels: usize) {
+    assert!(!channels_obs.is_empty(), "must observe at least one channel");
+    for &ch in channels_obs {
+        assert!(ch < channels, "observed channel {ch} outside {channels} state channels");
+    }
+    for (ch, &s) in noise_std.iter().enumerate() {
+        assert!(s > 0.0, "noise_std[{ch}] = {s} must be strictly positive");
+    }
+}
+
+/// A concrete set of observations: the operator geometry plus observed
+/// values and the availability mask. This is the payload a `NowcastRequest`
+/// carries, so it serializes through the same self-describing checkpoint
+/// byte format as model weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObservationSet {
+    pub sites: Vec<ObsSite>,
+    /// Observed value per site (noise already applied).
+    pub values: Vec<f32>,
+    /// Observation-error std per state channel.
+    pub noise_std: Vec<f32>,
+    /// `true` = observation present; masked-out sites are skipped by
+    /// guidance and evaluation.
+    pub mask: Vec<bool>,
+    pub tokens: usize,
+    pub channels: usize,
+}
+
+impl ObservationSet {
+    /// Number of observed scalars (present or not).
+    pub fn n_obs(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of observations actually available (mask = true).
+    pub fn n_present(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// The operator this set was observed through (geometry + error model).
+    pub fn operator(&self) -> ObsOperator {
+        ObsOperator {
+            sites: self.sites.clone(),
+            noise_std: self.noise_std.clone(),
+            tokens: self.tokens,
+            channels: self.channels,
+        }
+    }
+
+    /// Content digest over geometry, values, noise model, and mask — the
+    /// rollout-cache key component for nowcasts. Any bit of any observed
+    /// value changes the digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv_init();
+        h = fnv_u64(h, self.tokens as u64);
+        h = fnv_u64(h, self.channels as u64);
+        for s in &self.sites {
+            h = fnv_u64(h, ((s.token as u64) << 32) | s.channel as u64);
+        }
+        for &v in &self.values {
+            h = fnv_u64(h, v.to_bits() as u64);
+        }
+        for &s in &self.noise_std {
+            h = fnv_u64(h, s.to_bits() as u64);
+        }
+        for &m in &self.mask {
+            h = fnv_u64(h, m as u64);
+        }
+        h
+    }
+
+    /// Serialize in the checkpoint entry format. Integer fields (site
+    /// indices, shape, mask) are stored as exact small f32s; values and
+    /// noise stds are f32 already, so the round trip is bitwise.
+    pub fn write_to(&self, writer: &mut dyn Write) -> std::io::Result<()> {
+        let tok_f: Vec<f32> = self.sites.iter().map(|s| s.token as f32).collect();
+        let ch_f: Vec<f32> = self.sites.iter().map(|s| s.channel as f32).collect();
+        let mask_f: Vec<f32> = self.mask.iter().map(|&m| m as u32 as f32).collect();
+        let n = self.n_obs();
+        let entries = vec![
+            (
+                "obs/shape".to_string(),
+                Tensor::from_slice(&[self.tokens as f32, self.channels as f32]),
+            ),
+            ("obs/token".to_string(), Tensor::from_vec(&[n], tok_f)),
+            ("obs/channel".to_string(), Tensor::from_vec(&[n], ch_f)),
+            ("obs/value".to_string(), Tensor::from_vec(&[n], self.values.clone())),
+            (
+                "obs/noise_std".to_string(),
+                Tensor::from_vec(&[self.channels], self.noise_std.clone()),
+            ),
+            ("obs/mask".to_string(), Tensor::from_vec(&[n], mask_f)),
+        ];
+        aeris_nn::checkpoint::write_entries(&entries, writer)
+    }
+
+    /// Deserialize (inverse of [`Self::write_to`]); malformed input surfaces
+    /// as `InvalidData`, never a panic.
+    pub fn read_from(reader: &mut dyn Read) -> std::io::Result<Self> {
+        let entries = aeris_nn::checkpoint::read_params(reader)?;
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let get = |name: &str| -> std::io::Result<&Tensor> {
+            entries
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| t)
+                .ok_or_else(|| bad(format!("observation set missing entry {name}")))
+        };
+        let shape = get("obs/shape")?;
+        if shape.len() != 2 {
+            return Err(bad("obs/shape must have 2 elements".into()));
+        }
+        let tokens = shape.data()[0] as usize;
+        let channels = shape.data()[1] as usize;
+        if tokens == 0 || channels == 0 {
+            return Err(bad(format!("degenerate grid {tokens}x{channels}")));
+        }
+        let tok = get("obs/token")?;
+        let ch = get("obs/channel")?;
+        let values = get("obs/value")?;
+        let noise_std = get("obs/noise_std")?;
+        let mask = get("obs/mask")?;
+        let n = tok.len();
+        if ch.len() != n || values.len() != n || mask.len() != n {
+            return Err(bad(format!(
+                "inconsistent observation lengths: {n}/{}/{}/{}",
+                ch.len(),
+                values.len(),
+                mask.len()
+            )));
+        }
+        if noise_std.len() != channels {
+            return Err(bad(format!(
+                "noise_std has {} entries for {channels} channels",
+                noise_std.len()
+            )));
+        }
+        let mut sites = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = tok.data()[i];
+            let c = ch.data()[i];
+            if t < 0.0 || t >= tokens as f32 || t.fract() != 0.0 {
+                return Err(bad(format!("site {i}: token {t} outside grid of {tokens}")));
+            }
+            if c < 0.0 || c >= channels as f32 || c.fract() != 0.0 {
+                return Err(bad(format!("site {i}: channel {c} outside {channels} channels")));
+            }
+            sites.push(ObsSite { token: t as usize, channel: c as usize });
+        }
+        Ok(ObservationSet {
+            sites,
+            values: values.data().to_vec(),
+            noise_std: noise_std.data().to_vec(),
+            mask: mask.data().iter().map(|&m| m != 0.0).collect(),
+            tokens,
+            channels,
+        })
+    }
+
+    /// Save to a file in the checkpoint format.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file written by [`Self::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(8, 16)
+    }
+
+    fn operator() -> ObsOperator {
+        ObsOperator::stations(&grid(), 20, &[0, 2], &[0.5, 1.0, 0.25, 2.0], 7)
+    }
+
+    #[test]
+    fn stations_are_distinct_and_in_bounds() {
+        let op = operator();
+        assert_eq!(op.n_obs(), 40, "20 stations x 2 channels");
+        let uniq: std::collections::HashSet<_> = op.sites.iter().collect();
+        assert_eq!(uniq.len(), op.n_obs(), "sites must be unique");
+        for s in &op.sites {
+            assert!(s.token < op.tokens && s.channel < op.channels);
+        }
+        // Deterministic in the seed; distinct across seeds.
+        let again = ObsOperator::stations(&grid(), 20, &[0, 2], &[0.5, 1.0, 0.25, 2.0], 7);
+        assert_eq!(op.sites, again.sites);
+        let other = ObsOperator::stations(&grid(), 20, &[0, 2], &[0.5, 1.0, 0.25, 2.0], 8);
+        assert_ne!(op.sites, other.sites);
+    }
+
+    #[test]
+    fn satellite_track_covers_both_hemispheres() {
+        let g = Grid::new(16, 32);
+        let op = ObsOperator::satellite_track(&g, 200, 3, 70.0, &[1], &[1.0; 4], 11);
+        assert!(op.n_obs() > 20, "track should hit many distinct cells, got {}", op.n_obs());
+        let uniq: std::collections::HashSet<_> = op.sites.iter().collect();
+        assert_eq!(uniq.len(), op.n_obs());
+        let (mut north, mut south) = (false, false);
+        for s in &op.sites {
+            let (r, _) = g.coords(s.token);
+            if g.lat_deg(r) > 20.0 {
+                north = true;
+            }
+            if g.lat_deg(r) < -20.0 {
+                south = true;
+            }
+        }
+        assert!(north && south, "sinusoidal track must visit both hemispheres");
+    }
+
+    #[test]
+    fn forward_gathers_and_adjoint_scatters() {
+        let op = operator();
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[op.tokens, op.channels], &mut rng);
+        let y = op.forward(&x);
+        assert_eq!(y.shape(), &[op.n_obs()]);
+        for (i, s) in op.sites.iter().enumerate() {
+            assert_eq!(y.data()[i], x.at(&[s.token, s.channel]));
+        }
+        let back = op.adjoint(&y);
+        assert_eq!(back.shape(), x.shape());
+        // Unobserved cells stay zero; observed cells carry the value back.
+        let observed: std::collections::HashSet<_> =
+            op.sites.iter().map(|s| (s.token, s.channel)).collect();
+        for t in 0..op.tokens {
+            for c in 0..op.channels {
+                if observed.contains(&(t, c)) {
+                    assert_eq!(back.at(&[t, c]), x.at(&[t, c]));
+                } else {
+                    assert_eq!(back.at(&[t, c]), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_is_seeded_noisy_and_masked() {
+        let op = operator();
+        let mut rng = Rng::seed_from(5);
+        let truth = Tensor::randn(&[op.tokens, op.channels], &mut rng);
+        let a = op.observe(&truth, 0.3, 42);
+        let b = op.observe(&truth, 0.3, 42);
+        assert_eq!(a, b, "observation draw must be deterministic in the seed");
+        let c = op.observe(&truth, 0.3, 43);
+        assert_ne!(a.values, c.values);
+        // Noise actually perturbs the values.
+        let clean = op.forward(&truth);
+        assert!(a.values.iter().zip(clean.data()).any(|(v, c)| v != c));
+        // Mask drops roughly the requested fraction.
+        let present = a.n_present();
+        assert!(present < a.n_obs() && present > 0, "present {present} of {}", a.n_obs());
+        let full = op.observe(&truth, 0.0, 42);
+        assert_eq!(full.n_present(), full.n_obs());
+    }
+
+    #[test]
+    fn observation_set_roundtrips_bitwise_through_checkpoint_format() {
+        let op = operator();
+        let mut rng = Rng::seed_from(6);
+        let truth = Tensor::randn(&[op.tokens, op.channels], &mut rng);
+        let obs = op.observe(&truth, 0.2, 13);
+        let mut buf = Vec::new();
+        obs.write_to(&mut buf).unwrap();
+        let back = ObservationSet::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(obs, back);
+        assert_eq!(obs.digest(), back.digest());
+
+        // File round trip too.
+        let path = std::env::temp_dir().join(format!("aeris_obs_{}.ckpt", std::process::id()));
+        obs.save(&path).unwrap();
+        assert_eq!(ObservationSet::load(&path).unwrap(), obs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let op = operator();
+        let mut rng = Rng::seed_from(8);
+        let truth = Tensor::randn(&[op.tokens, op.channels], &mut rng);
+        let a = op.observe(&truth, 0.0, 1);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.values[3] += 1e-6;
+        assert_ne!(a.digest(), b.digest(), "any value bit must change the digest");
+        let mut c = a.clone();
+        c.mask[0] = !c.mask[0];
+        assert_ne!(a.digest(), c.digest(), "mask must be part of the digest");
+    }
+
+    #[test]
+    fn read_rejects_malformed_sets() {
+        let op = operator();
+        let truth = Tensor::zeros(&[op.tokens, op.channels]);
+        let obs = op.observe(&truth, 0.0, 1);
+        let mut buf = Vec::new();
+        obs.write_to(&mut buf).unwrap();
+        // Truncation fails cleanly.
+        assert!(ObservationSet::read_from(&mut &buf[..buf.len() / 2]).is_err());
+        // A non-checkpoint stream fails cleanly.
+        assert!(ObservationSet::read_from(&mut &[0u8; 32][..]).is_err());
+        // An out-of-range site index is rejected on read.
+        let mut bad = obs.clone();
+        bad.sites[0].token = bad.tokens + 5;
+        let mut buf2 = Vec::new();
+        bad.write_to(&mut buf2).unwrap();
+        assert!(ObservationSet::read_from(&mut &buf2[..]).is_err());
+    }
+}

@@ -1,16 +1,22 @@
 //! Serving-engine throughput: requests/s and latency percentiles as a
-//! function of micro-batch size and cache-hit rate, plus the un-standardize
+//! function of micro-batch size and cache-hit rate, per-request-type
+//! latency under a mixed forecast/nowcast load, plus the un-standardize
 //! kernel comparison (scalar indexing vs row-slice sweep) that motivates the
 //! row-major hot loop in `Forecaster::forecast_step`.
+//!
+//! Emits `BENCH_serve.json` with the throughput sweeps and the per-kind
+//! (forecast vs nowcast) p50/p99, read off the engine's own per-kind
+//! latency series (`serve_latency_ms` / `serve_nowcast_latency_ms`).
 //!
 //! Run: `cargo run --release -p aeris-bench --bin serve_throughput`
 //! (`AERIS_FULL=1` for more requests per configuration).
 
+use aeris_assim::{GuidanceSchedule, ObsOperator, ObservationSet};
 use aeris_bench::{fmt_row, header, toy_model_config, toy_vars};
 use aeris_core::{AerisModel, Forecaster};
 use aeris_diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
-use aeris_earthsim::NormStats;
-use aeris_serve::{ForecastRequest, Forcings, ServeConfig, ServeEngine};
+use aeris_earthsim::{Grid, NormStats};
+use aeris_serve::{ForecastRequest, Forcings, NowcastRequest, ServeConfig, ServeEngine};
 use aeris_tensor::{Rng, Tensor};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -100,6 +106,100 @@ fn drive(
     }
 }
 
+struct MixedResult {
+    req_per_s: f64,
+    forecast_p50_ms: f64,
+    forecast_p99_ms: f64,
+    nowcast_p50_ms: f64,
+    nowcast_p99_ms: f64,
+}
+
+/// Drive an even forecast/nowcast mix through one engine from 4 client
+/// threads and read the per-kind latency percentiles off the engine's own
+/// split series.
+fn drive_mixed(fc: &Arc<Forecaster>, n_requests: usize) -> MixedResult {
+    let engine = Arc::new(ServeEngine::start(
+        Arc::clone(fc),
+        ServeConfig {
+            workers: 4,
+            queue_capacity: n_requests,
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    ));
+    let cfg = &fc.model.cfg;
+    let tokens = cfg.tokens();
+    let channels = cfg.channels;
+    let grid = Grid::new(cfg.grid_h, cfg.grid_w);
+    // One observation network shared by all nowcasts (realistic: a fixed
+    // station network observed at many analysis times).
+    let op = ObsOperator::stations(&grid, tokens / 4, &[0, 1], &vec![0.5; channels], 17);
+    let observations: Vec<Arc<ObservationSet>> = (0..4)
+        .map(|i| {
+            let truth =
+                Tensor::randn(&[tokens, channels], &mut Rng::seed_from(0xBE5 + i as u64));
+            Arc::new(op.observe(&truth, 0.05, 0x0B5 + i as u64))
+        })
+        .collect();
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let observations = observations.clone();
+            std::thread::spawn(move || {
+                for i in (c..n_requests).step_by(4) {
+                    let seed = i as u64;
+                    let init =
+                        Tensor::randn(&[tokens, channels], &mut Rng::seed_from(seed ^ 0xA15));
+                    if i % 2 == 0 {
+                        engine
+                            .submit(ForecastRequest {
+                                init,
+                                forcings: Forcings::Zeros { channels: 3 },
+                                steps: 2,
+                                n_members: 2,
+                                seed,
+                                deadline: None,
+                            })
+                            .expect("admitted")
+                            .wait()
+                            .expect("served");
+                    } else {
+                        engine
+                            .submit_nowcast(NowcastRequest {
+                                background: init,
+                                forcings: Forcings::Zeros { channels: 3 },
+                                observations: Arc::clone(&observations[i % 4 / 2]),
+                                schedule: GuidanceSchedule::Constant(0.05),
+                                n_members: 2,
+                                seed,
+                                deadline: None,
+                            })
+                            .expect("admitted")
+                            .wait()
+                            .expect("served");
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("clients done"));
+    let report = engine.shutdown();
+    let p = |series: &aeris_obs::MetricSeries, q: f64| series.percentile(q).unwrap_or(f64::NAN);
+    MixedResult {
+        req_per_s: n_requests as f64 / wall,
+        forecast_p50_ms: p(&report.metrics.latency_ms, 50.0),
+        forecast_p99_ms: p(&report.metrics.latency_ms, 99.0),
+        nowcast_p50_ms: p(&report.metrics.nowcast_latency_ms, 50.0),
+        nowcast_p99_ms: p(&report.metrics.nowcast_latency_ms, 99.0),
+    }
+}
+
 /// The pre-optimization un-standardize inner loop: scalar `at()` indexing
 /// with per-element bounds/offset arithmetic. Kept here as the baseline the
 /// row-slice sweep in `forecast_step` is measured against.
@@ -134,17 +234,24 @@ fn main() {
     header("Serving throughput vs micro-batch size");
     println!("{n_requests} requests x 2 members x 2 steps, 4 workers, 4 clients, all-distinct seeds");
     println!("{:<16}{:>10}{:>10}{:>10}{:>12}", "max_batch", "req/s", "p50 ms", "p99 ms", "mean batch");
+    let mut batch_rows = Vec::new();
     for max_batch in [1usize, 2, 4, 8, 16] {
         let r = drive(&fc, tokens, max_batch, n_requests, n_requests);
         println!(
             "{:<16}{:>10.2}{:>10.1}{:>10.1}{:>12.2}",
             max_batch, r.req_per_s, r.p50_ms, r.p99_ms, r.mean_batch
         );
+        batch_rows.push(format!(
+            "{{\"max_batch\": {max_batch}, \"req_per_s\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"mean_batch\": {:.3}}}",
+            r.req_per_s, r.p50_ms, r.p99_ms, r.mean_batch
+        ));
     }
 
     header("Serving throughput vs cache-hit rate");
     println!("max_batch 8; `distinct` = number of unique rollouts among {n_requests} requests");
     println!("{:<16}{:>10}{:>10}{:>10}{:>12}", "distinct", "req/s", "p50 ms", "p99 ms", "hit rate");
+    let mut cache_rows = Vec::new();
     for distinct in [n_requests, n_requests / 2, n_requests / 8, 1] {
         let r = drive(&fc, tokens, 8, n_requests, distinct.max(1));
         println!(
@@ -155,7 +262,24 @@ fn main() {
             r.p99_ms,
             100.0 * r.hit_rate
         );
+        cache_rows.push(format!(
+            "{{\"distinct\": {}, \"req_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"hit_rate\": {:.4}}}",
+            distinct.max(1),
+            r.req_per_s,
+            r.p50_ms,
+            r.p99_ms,
+            r.hit_rate
+        ));
     }
+
+    header("Mixed forecast/nowcast load: per-request-type latency");
+    println!("{n_requests} requests, 50% nowcasts, max_batch 8, shared station network");
+    let m = drive_mixed(&fc, n_requests);
+    println!("{:<16}{:>10}{:>10}", "kind", "p50 ms", "p99 ms");
+    println!("{:<16}{:>10.1}{:>10.1}", "forecast", m.forecast_p50_ms, m.forecast_p99_ms);
+    println!("{:<16}{:>10.1}{:>10.1}", "nowcast", m.nowcast_p50_ms, m.nowcast_p99_ms);
+    println!("mixed load: {:.2} req/s", m.req_per_s);
 
     header("Un-standardize kernel: scalar at() vs row-slice sweep");
     let channels = fc.model.cfg.channels;
@@ -184,4 +308,23 @@ fn main() {
     println!("{}", fmt_row("row slices", &[rows_us], 12, 2));
     println!("{}", fmt_row("speedup", &[scalar_us / rows_us], 12, 2));
     assert!(sink.is_finite());
+
+    let out = format!(
+        "{{\n  \"batch_sweep\": [\n    {}\n  ],\n  \"cache_sweep\": [\n    {}\n  ],\n  \
+         \"mixed_load\": {{\n    \"req_per_s\": {:.3},\n    \
+         \"forecast\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
+         \"nowcast\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}\n  }},\n  \
+         \"unstandardize_kernel\": {{\"scalar_us\": {scalar_us:.3}, \"rows_us\": {rows_us:.3}, \
+         \"speedup\": {:.3}}}\n}}\n",
+        batch_rows.join(",\n    "),
+        cache_rows.join(",\n    "),
+        m.req_per_s,
+        m.forecast_p50_ms,
+        m.forecast_p99_ms,
+        m.nowcast_p50_ms,
+        m.nowcast_p99_ms,
+        scalar_us / rows_us,
+    );
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
 }

@@ -6,7 +6,7 @@
 //! churn noise) with different seeds.
 
 use crate::model::AerisModel;
-use aeris_diffusion::TrigFlowSampler;
+use aeris_diffusion::{Guidance, NoGuidance, TrigFlowSampler};
 use aeris_earthsim::NormStats;
 use aeris_tensor::{Rng, Tensor};
 use rayon::prelude::*;
@@ -33,6 +33,22 @@ pub struct StepJob<'a> {
     pub forcings: &'a Tensor,
     /// The job's private noise stream (advanced by the step).
     pub rng: &'a mut Rng,
+}
+
+/// A [`StepJob`] with an optional observation-guidance hook: the assimilation
+/// path through [`Forecaster::forecast_step_batch_guided`]. The hook is
+/// `Send` (not `Sync`) because each job owns its guidance exclusively, the
+/// same way it owns its RNG — jobs can migrate across worker threads but are
+/// never shared between them.
+pub struct GuidedStepJob<'a> {
+    /// Physical state at the input of the step.
+    pub x_prev: &'a Tensor,
+    /// Forcings valid at the input of the step.
+    pub forcings: &'a Tensor,
+    /// The job's private noise stream (advanced by the step).
+    pub rng: &'a mut Rng,
+    /// Observation guidance, or `None` for a plain forecast step.
+    pub guidance: Option<&'a mut (dyn Guidance + Send)>,
 }
 
 /// An ensemble of autoregressive rollouts: `members[m][k]` is member `m`'s
@@ -151,11 +167,24 @@ impl Forecaster {
     /// One forecast step: physical `x_prev` + forcings → physical `x_next`,
     /// by sampling a standardized residual from the diffusion model.
     pub fn forecast_step(&self, x_prev: &Tensor, forcings: &Tensor, rng: &mut Rng) -> Tensor {
+        self.forecast_step_guided(x_prev, forcings, rng, &mut NoGuidance)
+    }
+
+    /// [`Self::forecast_step`] with an observation-consistency guidance hook
+    /// threaded into the sampler (generative data assimilation). A hook that
+    /// never fires leaves this bitwise identical to the plain step.
+    pub fn forecast_step_guided(
+        &self,
+        x_prev: &Tensor,
+        forcings: &Tensor,
+        rng: &mut Rng,
+        guidance: &mut dyn Guidance,
+    ) -> Tensor {
         let prev_std = self.stats.standardize(x_prev);
         let shape = prev_std.shape().to_vec();
         let mut velocity =
             |x_t: &Tensor, t: f32| self.model.velocity(x_t, &prev_std, forcings, t);
-        let residual_std = self.sampler.sample(&shape, &mut velocity, rng);
+        let residual_std = self.sampler.sample_guided(&shape, &mut velocity, rng, guidance);
         // Un-standardize the residual and add to the state, walking whole rows
         // (slice iteration instead of per-element multi-index `at()` lookups).
         let mut next = x_prev.clone();
@@ -179,6 +208,22 @@ impl Forecaster {
             .iter_mut()
             .into_par_iter()
             .map(|job| self.forecast_step(job.x_prev, job.forcings, job.rng))
+            .collect();
+        outs
+    }
+
+    /// Batched guided step: like [`Self::forecast_step_batch`] but each job
+    /// may carry its own guidance hook, so the serving engine can mix plain
+    /// forecast and nowcast member-steps in one batch. The purity argument is
+    /// unchanged — guidance state, like the RNG, is private to its job.
+    pub fn forecast_step_batch_guided(&self, jobs: &mut [GuidedStepJob<'_>]) -> Vec<Tensor> {
+        let outs: Vec<Tensor> = jobs
+            .iter_mut()
+            .into_par_iter()
+            .map(|job| match job.guidance.as_deref_mut() {
+                Some(g) => self.forecast_step_guided(job.x_prev, job.forcings, job.rng, g),
+                None => self.forecast_step(job.x_prev, job.forcings, job.rng),
+            })
             .collect();
         outs
     }

@@ -26,6 +26,6 @@ pub mod training;
 
 pub use config::AerisConfig;
 pub use distill::{ConsistencyStudent, DistillConfig};
-pub use forecast::{EnsembleForecast, Forecaster, StepJob};
+pub use forecast::{EnsembleForecast, Forecaster, GuidedStepJob, StepJob};
 pub use model::AerisModel;
 pub use training::{prepare_samples, TrainSample, Trainer, TrainerConfig};

@@ -21,6 +21,6 @@ pub mod trigflow;
 pub mod weights;
 
 pub use edm::{EdmConfig, EdmSampler};
-pub use sampler::{SamplerConfig, TrigFlowSampler};
+pub use sampler::{Guidance, NoGuidance, SamplerConfig, SamplerError, TrigFlowSampler};
 pub use trigflow::TrigFlow;
 pub use weights::loss_weights;

@@ -12,6 +12,38 @@
 use crate::trigflow::TrigFlow;
 use aeris_tensor::{Rng, Tensor};
 
+/// Typed sampler-configuration error. Returned by [`SamplerConfig::validate`]
+/// and [`TrigFlowSampler::try_new`] so malformed schedules are rejected at
+/// construction (or request admission) instead of panicking mid-rollout.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SamplerError {
+    /// `n_steps == 0`: the σ schedule would be empty.
+    EmptySchedule,
+    /// The σ prior bounds do not satisfy `0 < σ_min < σ_max` (this includes
+    /// NaN bounds), so the log-uniform time grid would not be monotone.
+    NonMonotoneSigma { sigma_min: f32, sigma_max: f32 },
+    /// Churn fraction outside `[0, 1)` (or NaN).
+    BadChurn { churn: f32 },
+}
+
+impl std::fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplerError::EmptySchedule => write!(f, "sampler schedule is empty (n_steps = 0)"),
+            SamplerError::NonMonotoneSigma { sigma_min, sigma_max } => write!(
+                f,
+                "sigma schedule is not monotone: need 0 < sigma_min < sigma_max, \
+                 got [{sigma_min}, {sigma_max}]"
+            ),
+            SamplerError::BadChurn { churn } => {
+                write!(f, "churn fraction {churn} outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplerError {}
+
 /// Sampler hyperparameters.
 #[derive(Clone, Copy, Debug)]
 pub struct SamplerConfig {
@@ -31,6 +63,61 @@ impl Default for SamplerConfig {
     }
 }
 
+impl SamplerConfig {
+    /// Check that this config yields a well-formed, strictly decreasing time
+    /// grid under the parameterization `tf`.
+    pub fn validate(&self, tf: &TrigFlow) -> Result<(), SamplerError> {
+        if self.n_steps == 0 {
+            return Err(SamplerError::EmptySchedule);
+        }
+        // Explicit NaN checks: NaN bounds must fail, not slip through.
+        if tf.sigma_min <= 0.0
+            || tf.sigma_max <= tf.sigma_min
+            || tf.sigma_min.is_nan()
+            || tf.sigma_max.is_nan()
+        {
+            return Err(SamplerError::NonMonotoneSigma {
+                sigma_min: tf.sigma_min,
+                sigma_max: tf.sigma_max,
+            });
+        }
+        if !(0.0..1.0).contains(&self.churn) {
+            return Err(SamplerError::BadChurn { churn: self.churn });
+        }
+        Ok(())
+    }
+}
+
+/// Inference-time guidance: a hook called with each denoised / data-prediction
+/// estimate of the solver, returning an additive correction (or `None` for
+/// "leave the estimate untouched").
+///
+/// The contract that keeps the determinism suites biting: an implementation
+/// whose scheduled weight is exactly zero at `step` MUST return `None`, and
+/// the sampler then executes a code path bitwise identical to the unguided
+/// solver. Returning `Some(zeros)` is NOT equivalent — adding a zero tensor
+/// can still flip `-0.0` to `+0.0` and, on the first-order path, swaps the
+/// exact angular rotation for the algebraically-equal-but-differently-rounded
+/// data-prediction update.
+pub trait Guidance {
+    /// Correction to the denoised estimate `x_hat` at solver step `step`
+    /// (0-based over [`SamplerConfig::n_steps`]) and diffusion time `t`.
+    /// For the 2S solver this is called twice per step — once for the
+    /// half-step estimate, once for the midpoint estimate — with the same
+    /// `step` index.
+    fn nudge(&mut self, x_hat: &Tensor, step: usize, t: f32) -> Option<Tensor>;
+}
+
+/// The always-off guidance; [`TrigFlowSampler::sample`] routes through the
+/// guided loop with this, so there is exactly one solver implementation.
+pub struct NoGuidance;
+
+impl Guidance for NoGuidance {
+    fn nudge(&mut self, _x_hat: &Tensor, _step: usize, _t: f32) -> Option<Tensor> {
+        None
+    }
+}
+
 /// The TrigFlow sampler.
 #[derive(Clone, Copy, Debug)]
 pub struct TrigFlowSampler {
@@ -42,6 +129,13 @@ impl TrigFlowSampler {
     /// Construct with a parameterization and config.
     pub fn new(tf: TrigFlow, cfg: SamplerConfig) -> Self {
         TrigFlowSampler { tf, cfg }
+    }
+
+    /// Validating constructor: rejects configs whose time grid would be
+    /// empty or non-monotone instead of panicking inside [`Self::schedule`].
+    pub fn try_new(tf: TrigFlow, cfg: SamplerConfig) -> Result<Self, SamplerError> {
+        cfg.validate(&tf)?;
+        Ok(TrigFlowSampler { tf, cfg })
     }
 
     /// The time grid: σ log-uniform from σ_max down to σ_min (matching the
@@ -79,6 +173,19 @@ impl TrigFlowSampler {
         x
     }
 
+    /// [`Self::sample`] with an observation-consistency [`Guidance`] term.
+    pub fn sample_guided(
+        &self,
+        shape: &[usize],
+        velocity: &mut dyn FnMut(&Tensor, f32) -> Tensor,
+        rng: &mut Rng,
+        guidance: &mut dyn Guidance,
+    ) -> Tensor {
+        let mut x = self.initial_noise(shape, rng);
+        self.sample_from_guided(&mut x, velocity, rng, guidance);
+        x
+    }
+
     /// Run the solver in place starting from the provided `x` at `t = π/2`
     /// (or at `schedule()[0]`, which is within 2e-3 rad of π/2 for the
     /// default σ_max = 500).
@@ -87,6 +194,23 @@ impl TrigFlowSampler {
         x: &mut Tensor,
         velocity: &mut dyn FnMut(&Tensor, f32) -> Tensor,
         rng: &mut Rng,
+    ) {
+        self.sample_from_guided(x, velocity, rng, &mut NoGuidance);
+    }
+
+    /// The guided solver loop. Each step forms the data-prediction estimate
+    /// `D̂`, asks `guidance` for a nudge toward the observations, and — only
+    /// when a nudge is present — continues the step from `D̂ + g` via the
+    /// data-prediction update. With no nudge the step is the unguided solver,
+    /// bit for bit: the first-order branch keeps the exact angular rotation
+    /// (`ode_step`), which rounds differently from the algebraically equal
+    /// `exp_step` form.
+    pub fn sample_from_guided(
+        &self,
+        x: &mut Tensor,
+        velocity: &mut dyn FnMut(&Tensor, f32) -> Tensor,
+        rng: &mut Rng,
+        guidance: &mut dyn Guidance,
     ) {
         let ts = self.schedule();
         for i in 0..ts.len() - 1 {
@@ -99,10 +223,14 @@ impl TrigFlowSampler {
                 t = t_hat;
             }
             if self.cfg.second_order {
-                *x = self.step_2s(x, t, t_next, velocity);
+                *x = self.step_2s(x, t, t_next, velocity, i, guidance);
             } else {
                 let v = velocity(x, t);
-                *x = self.tf.ode_step(x, &v, t, t_next);
+                let d = self.tf.denoise(x, &v, t);
+                match guidance.nudge(&d, i, t) {
+                    Some(g) => *x = exp_step(x, &d.add(&g), t, t_next),
+                    None => *x = self.tf.ode_step(x, &v, t, t_next),
+                }
             }
         }
     }
@@ -121,9 +249,14 @@ impl TrigFlowSampler {
         t: f32,
         t_next: f32,
         velocity: &mut dyn FnMut(&Tensor, f32) -> Tensor,
+        step: usize,
+        guidance: &mut dyn Guidance,
     ) -> Tensor {
         let v_s = velocity(x, t);
-        let d_s = self.tf.denoise(x, &v_s, t);
+        let mut d_s = self.tf.denoise(x, &v_s, t);
+        if let Some(g) = guidance.nudge(&d_s, step, t) {
+            d_s = d_s.add(&g);
+        }
         // λ-space midpoint; for the final step to t' = 0 (λ → ∞) fall back to
         // the t-space midpoint.
         let t_mid = if t_next > 0.0 {
@@ -135,7 +268,10 @@ impl TrigFlowSampler {
         // First-order hop to the midpoint.
         let u = exp_step(x, &d_s, t, t_mid);
         let v_mid = velocity(&u, t_mid);
-        let d_mid = self.tf.denoise(&u, &v_mid, t_mid);
+        let mut d_mid = self.tf.denoise(&u, &v_mid, t_mid);
+        if let Some(g) = guidance.nudge(&d_mid, step, t_mid) {
+            d_mid = d_mid.add(&g);
+        }
         exp_step(x, &d_mid, t, t_next)
     }
 }
@@ -249,5 +385,98 @@ mod tests {
         let a = sampler.sample(&[100], &mut vel_a, &mut r1);
         let b = sampler.sample(&[100], &mut vel_b, &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_schedules() {
+        let ok = SamplerConfig::default();
+        assert_eq!(ok.validate(&TrigFlow::default()), Ok(()));
+        assert!(TrigFlowSampler::try_new(TrigFlow::default(), ok).is_ok());
+
+        let empty = SamplerConfig { n_steps: 0, ..ok };
+        assert_eq!(empty.validate(&TrigFlow::default()), Err(SamplerError::EmptySchedule));
+
+        let inverted = TrigFlow { sigma_min: 10.0, sigma_max: 0.5, ..TrigFlow::default() };
+        assert!(matches!(
+            ok.validate(&inverted),
+            Err(SamplerError::NonMonotoneSigma { .. })
+        ));
+        let degenerate = TrigFlow { sigma_min: 2.0, sigma_max: 2.0, ..TrigFlow::default() };
+        assert!(ok.validate(&degenerate).is_err(), "equal bounds give an empty log range");
+        let nan = TrigFlow { sigma_min: f32::NAN, ..TrigFlow::default() };
+        assert!(ok.validate(&nan).is_err(), "NaN bounds must not pass");
+        let nonpos = TrigFlow { sigma_min: 0.0, ..TrigFlow::default() };
+        assert!(ok.validate(&nonpos).is_err(), "sigma_min = 0 breaks ln()");
+
+        for churn in [-0.1f32, 1.0, 1.5, f32::NAN] {
+            let bad = SamplerConfig { churn, ..ok };
+            assert!(
+                matches!(bad.validate(&TrigFlow::default()), Err(SamplerError::BadChurn { .. })),
+                "churn {churn} accepted"
+            );
+            assert!(TrigFlowSampler::try_new(TrigFlow::default(), bad).is_err());
+        }
+
+        // Errors format without panicking and carry the offending values.
+        let msg = SamplerError::NonMonotoneSigma { sigma_min: 3.0, sigma_max: 1.0 }.to_string();
+        assert!(msg.contains('3') && msg.contains('1'), "{msg}");
+    }
+
+    /// A guidance that never fires must leave both solver branches bitwise
+    /// unchanged — the core contract the assimilation stack builds on.
+    struct NeverFires {
+        calls: usize,
+    }
+    impl Guidance for NeverFires {
+        fn nudge(&mut self, _x_hat: &Tensor, _step: usize, _t: f32) -> Option<Tensor> {
+            self.calls += 1;
+            None
+        }
+    }
+
+    #[test]
+    fn inactive_guidance_is_bitwise_identical_to_plain_sampler() {
+        for second_order in [false, true] {
+            let sampler = TrigFlowSampler::new(
+                TrigFlow::default(),
+                SamplerConfig { n_steps: 6, churn: 0.2, second_order },
+            );
+            let mut vel_a = gaussian_velocity(0.5, 0.7);
+            let mut vel_b = gaussian_velocity(0.5, 0.7);
+            let plain = sampler.sample(&[64], &mut vel_a, &mut Rng::seed_from(21));
+            let mut never = NeverFires { calls: 0 };
+            let guided =
+                sampler.sample_guided(&[64], &mut vel_b, &mut Rng::seed_from(21), &mut never);
+            assert_eq!(plain, guided, "second_order={second_order}");
+            // The hook was consulted at every data-prediction estimate.
+            let expected = if second_order { 12 } else { 6 };
+            assert_eq!(never.calls, expected);
+        }
+    }
+
+    /// A constant pull toward a target value moves the sample mean toward it.
+    struct PullToward {
+        target: f32,
+        weight: f32,
+    }
+    impl Guidance for PullToward {
+        fn nudge(&mut self, x_hat: &Tensor, _step: usize, _t: f32) -> Option<Tensor> {
+            Some(x_hat.map(|v| self.weight * (self.target - v)))
+        }
+    }
+
+    #[test]
+    fn active_guidance_pulls_samples_toward_target() {
+        let (mu, s) = (0.0f32, 0.5f32);
+        let sampler = TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 12, churn: 0.0, second_order: true },
+        );
+        let mut vel = gaussian_velocity(mu, s);
+        let mut pull = PullToward { target: 3.0, weight: 0.3 };
+        let out =
+            sampler.sample_guided(&[4000], &mut vel, &mut Rng::seed_from(31), &mut pull);
+        let mean = out.mean();
+        assert!(mean > 1.0, "guidance should drag mean toward 3.0, got {mean}");
     }
 }

@@ -80,6 +80,13 @@ impl Grid {
         c % self.nlon
     }
 
+    /// Token index closest to a `(lat, lon)` position — the grid cell an
+    /// observation at that position lands in (nearest-neighbor observation
+    /// operator).
+    pub fn token_of(&self, lat: f32, lon: f32) -> usize {
+        self.index(self.row_of_lat(lat), self.col_of_lon(lon))
+    }
+
     /// Latitude area weights `cos(φ)` per row, normalized to mean 1 — the
     /// standard WeatherBench latitude weighting α(s).
     pub fn lat_weights(&self) -> Vec<f32> {
@@ -180,6 +187,7 @@ mod tests {
         assert_eq!(g.row_of_lat(g.lat_deg(5)), 5);
         assert_eq!(g.col_of_lon(g.lon_deg(17)), 17);
         assert_eq!(g.col_of_lon(-90.0), g.col_of_lon(270.0));
+        assert_eq!(g.token_of(g.lat_deg(5), g.lon_deg(17)), g.index(5, 17));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //!
 //! - [`metrics`]: latitude-weighted RMSE, ensemble-mean RMSE, fair CRPS,
 //!   spread/skill ratio, anomaly correlation,
+//! - [`assimilation`]: analysis RMSE/spread vs observation density and noise
+//!   (guided nowcasts vs the unguided baseline),
 //! - [`spectra`]: zonal power spectra and spectral ratios (blur detection),
 //! - [`hovmoller`]: equatorial Hovmöller diagrams and pattern correlation,
 //! - [`nino`]: Niño 3.4 index series,
@@ -14,6 +16,7 @@
 // that style, so the pedantic range-loop lint is disabled crate-wide.
 #![allow(clippy::needless_range_loop)]
 
+pub mod assimilation;
 pub mod cyclone;
 pub mod heatwave;
 pub mod hovmoller;
@@ -21,6 +24,7 @@ pub mod metrics;
 pub mod nino;
 pub mod spectra;
 
+pub use assimilation::{analysis_quality, AssimEvalConfig, AssimPoint};
 pub use cyclone::{track_cyclone, track_cyclone_guided, CycloneTrack, TrackPoint};
 pub use heatwave::point_series;
 pub use hovmoller::{hovmoller as hovmoller_diagram, pattern_correlation};

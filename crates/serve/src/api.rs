@@ -6,6 +6,7 @@
 //! every failure mode is a typed [`ServeError`] (mirroring the
 //! `CommError` taxonomy of the SWiPe runtime: no panics, no hangs).
 
+use aeris_assim::{GuidanceSchedule, ObservationSet};
 use aeris_core::EnsembleForecast;
 use aeris_tensor::Tensor;
 use std::sync::Arc;
@@ -95,6 +96,39 @@ pub struct ForecastRequest {
     /// doomed work; one that expires while queued is shed at dequeue. Both
     /// kinds count toward `ServeReport::shed`. Requests answered entirely
     /// from cache never expire (they cost no model evaluations).
+    pub deadline: Option<Duration>,
+}
+
+/// A nowcast (assimilation) request: one client asking for an analysis
+/// ensemble — a single guided forecast step from a background state toward
+/// an observation set (`aeris_assim::nowcast_ensemble` as a service).
+///
+/// Served through the same micro-batcher and worker pool as forecasts, so
+/// nowcast member-steps batch freely with forecast member-steps. The
+/// response reuses [`ForecastResponse`] with a 1-step horizon:
+/// `forecast.members[m][0]` is member `m`'s analysis state, bitwise
+/// identical to a direct `nowcast_member` call with the same inputs. The
+/// rollout cache keys nowcasts on the observation digest and guidance
+/// schedule, so replaying the same request is answered from cache.
+#[derive(Clone)]
+pub struct NowcastRequest {
+    /// Background physical state `x_b`, `[tokens, channels]`.
+    pub background: Tensor,
+    /// Forcings valid at the analysis step.
+    pub forcings: Forcings,
+    /// The observations to assimilate (shared: many members, one set).
+    pub observations: Arc<ObservationSet>,
+    /// Per-solver-step guidance weights. [`GuidanceSchedule::off`] makes the
+    /// nowcast a plain 1-step forecast (and lets it share cache entries with
+    /// one).
+    pub schedule: GuidanceSchedule,
+    /// Analysis ensemble members (must be ≥ 1); member `m` uses the seed
+    /// stream `seed ⊕ (m+1)` like forecasts.
+    pub n_members: usize,
+    /// Base seed for the ensemble's noise streams.
+    pub seed: u64,
+    /// Optional latency budget (same shedding semantics as
+    /// [`ForecastRequest::deadline`]).
     pub deadline: Option<Duration>,
 }
 

@@ -49,6 +49,11 @@ pub struct CacheKey {
     pub member: u64,
     /// 1-based step count: the entry is the state after `step` steps.
     pub step: u32,
+    /// Request-kind auxiliary content: 0 for plain forecasts (and nowcasts
+    /// whose guidance schedule is off, which are bitwise forecasts); the
+    /// combined observation-set + guidance-schedule digest for active
+    /// nowcasts. Keeps guided and unguided trajectories from ever aliasing.
+    pub aux: u64,
 }
 
 /// One cached member-step.
@@ -195,7 +200,7 @@ mod tests {
     use aeris_tensor::Rng;
 
     fn key(step: u32) -> CacheKey {
-        CacheKey { init: 1, forcings: 2, seed: 3, member: 0, step }
+        CacheKey { init: 1, forcings: 2, seed: 3, member: 0, step, aux: 0 }
     }
 
     fn snap() -> RngSnapshot {
@@ -243,6 +248,17 @@ mod tests {
         assert_eq!(s.evictions, 1);
         assert_eq!(s.entries, 2);
         assert_eq!(s.bytes, 256);
+    }
+
+    #[test]
+    fn aux_component_separates_guided_and_unguided_entries() {
+        let cache = RolloutCache::new(1 << 20);
+        cache.insert(key(1), Arc::new(Tensor::ones(&[8, 4])), snap());
+        let guided = CacheKey { aux: 99, ..key(1) };
+        assert!(cache.get(&guided).is_none(), "guided key must not alias the forecast entry");
+        cache.insert(guided, Arc::new(Tensor::zeros(&[8, 4])), snap());
+        assert_eq!(cache.get(&key(1)).unwrap().state.data()[0], 1.0);
+        assert_eq!(cache.get(&guided).unwrap().state.data()[0], 0.0);
     }
 
     #[test]

@@ -30,10 +30,15 @@
 //! [`forecast_step_batch`]: aeris_core::Forecaster::forecast_step_batch
 //! [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
 
-use crate::api::{ForecastRequest, ForecastResponse, Forcings, ServeConfig, ServeError};
+use crate::api::{
+    fnv_init, fnv_u64, ForecastRequest, ForecastResponse, Forcings, NowcastRequest, ServeConfig,
+    ServeError,
+};
 use crate::batcher::TaskQueue;
 use crate::cache::{content_hash, CacheKey, CacheStats, RolloutCache};
-use aeris_core::{EnsembleForecast, Forecaster, StepJob};
+use aeris_assim::{GuidanceSchedule, ObsGuidance, ObservationSet};
+use aeris_core::{EnsembleForecast, Forecaster, GuidedStepJob};
+use aeris_diffusion::Guidance;
 use aeris_obs::{MetricSeries, SpanCategory, Tracer};
 use aeris_swipe::{EventLog, EventRecord};
 use aeris_tensor::{Rng, Tensor};
@@ -52,6 +57,9 @@ pub const CLIENT_ACTOR: usize = usize::MAX;
 pub enum ServeEvent {
     /// A request passed validation and admission control.
     Admitted { req: u64, members: usize, steps: usize },
+    /// A nowcast (assimilation) request passed validation and admission
+    /// control; `n_obs` is the number of present observations it carries.
+    AdmittedNowcast { req: u64, members: usize, n_obs: usize },
     /// Admission control refused a request (queue at capacity).
     RejectedQueueFull { capacity: usize },
     /// A request arrived after shutdown began.
@@ -75,8 +83,14 @@ pub enum ServeEvent {
 /// counters — one exporter path for trainer, server, and benches.
 #[derive(Clone, Default)]
 pub struct ServeMetrics {
-    /// Per-request submission-to-completion latency, milliseconds.
+    /// Per-request submission-to-completion latency for forecast requests,
+    /// milliseconds.
     pub latency_ms: MetricSeries,
+    /// Per-request submission-to-completion latency for nowcast
+    /// (assimilation) requests, milliseconds — the two traffic shapes have
+    /// very different profiles (long rollouts vs one guided step under tight
+    /// deadlines), so they get separate series.
+    pub nowcast_latency_ms: MetricSeries,
     /// Member-steps per executed batch.
     pub batch_size: MetricSeries,
     /// Pending member-steps observed by workers after forming each batch.
@@ -88,6 +102,7 @@ impl ServeMetrics {
     fn registered(tracer: &Tracer) -> ServeMetrics {
         ServeMetrics {
             latency_ms: tracer.series("serve_latency_ms"),
+            nowcast_latency_ms: tracer.series("serve_nowcast_latency_ms"),
             batch_size: tracer.series("serve_batch_size"),
             queue_depth: tracer.series("serve_queue_depth"),
         }
@@ -110,6 +125,13 @@ struct DoneState {
     result: Option<Result<(), ServeError>>,
 }
 
+/// The assimilation payload of a nowcast request: what turns a member-step
+/// into a *guided* member-step.
+pub(crate) struct NowcastSpec {
+    pub obs: Arc<ObservationSet>,
+    pub schedule: GuidanceSchedule,
+}
+
 /// Shared per-request state: identity, cache addressing, and the slot the
 /// client's [`Ticket`] blocks on.
 pub(crate) struct RequestState {
@@ -121,6 +143,12 @@ pub(crate) struct RequestState {
     pub steps: usize,
     pub n_members: usize,
     pub seed: u64,
+    /// `Some` for nowcasts: the observations + guidance schedule.
+    pub nowcast: Option<NowcastSpec>,
+    /// Cache-key auxiliary component (see [`CacheKey::aux`]): 0 for
+    /// forecasts and off-schedule nowcasts (bitwise-equal trajectories, so
+    /// they *should* share entries), else the obs ⊕ schedule digest.
+    pub aux: u64,
     pub submitted: Instant,
     pub deadline: Option<Instant>,
     done: Mutex<DoneState>,
@@ -128,22 +156,32 @@ pub(crate) struct RequestState {
 }
 
 impl RequestState {
-    fn new(id: u64, req: &ForecastRequest) -> Self {
+    fn with_core(
+        id: u64,
+        init: Tensor,
+        forcings: Forcings,
+        steps: usize,
+        n_members: usize,
+        seed: u64,
+        deadline: Option<Duration>,
+    ) -> Self {
         let submitted = Instant::now();
         RequestState {
             id,
-            init_hash: content_hash(&req.init),
-            init: Arc::new(req.init.clone()),
-            forcings_key: req.forcings.content_key(),
-            forcings: req.forcings.clone(),
-            steps: req.steps,
-            n_members: req.n_members,
-            seed: req.seed,
+            init_hash: content_hash(&init),
+            init: Arc::new(init),
+            forcings_key: forcings.content_key(),
+            forcings,
+            steps,
+            n_members,
+            seed,
+            nowcast: None,
+            aux: 0,
             submitted,
-            deadline: req.deadline.map(|d| submitted + d),
+            deadline: deadline.map(|d| submitted + d),
             done: Mutex::new(DoneState {
-                members: vec![None; req.n_members],
-                remaining: req.n_members,
+                members: vec![None; n_members],
+                remaining: n_members,
                 cache_hits: 0,
                 computed_steps: 0,
                 latency: Duration::ZERO,
@@ -151,6 +189,44 @@ impl RequestState {
             }),
             done_cv: Condvar::new(),
         }
+    }
+
+    fn new(id: u64, req: &ForecastRequest) -> Self {
+        RequestState::with_core(
+            id,
+            req.init.clone(),
+            req.forcings.clone(),
+            req.steps,
+            req.n_members,
+            req.seed,
+            req.deadline,
+        )
+    }
+
+    fn new_nowcast(id: u64, req: &NowcastRequest) -> Self {
+        let mut state = RequestState::with_core(
+            id,
+            req.background.clone(),
+            req.forcings.clone(),
+            1,
+            req.n_members,
+            req.seed,
+            req.deadline,
+        );
+        // An off schedule is a bitwise 1-step forecast, so it keeps aux = 0
+        // and shares cache entries with one; active guidance gets its own
+        // content-addressed namespace.
+        if !req.schedule.is_off() {
+            let mut h = fnv_init();
+            fnv_u64(&mut h, req.observations.digest());
+            fnv_u64(&mut h, req.schedule.digest());
+            state.aux = h;
+        }
+        state.nowcast = Some(NowcastSpec {
+            obs: Arc::clone(&req.observations),
+            schedule: req.schedule,
+        });
+        state
     }
 
     /// Whether the request already resolved (completed or failed).
@@ -230,6 +306,7 @@ struct EngineShared {
     drained: Condvar,
     next_id: AtomicU64,
     completed: AtomicU64,
+    nowcasts: AtomicU64,
     shed: AtomicU64,
 }
 
@@ -284,7 +361,12 @@ impl EngineShared {
         };
         if let Some((latency, cache_hits, computed_steps)) = finished {
             self.completed.fetch_add(1, Ordering::Relaxed);
-            self.metrics.latency_ms.record(latency.as_secs_f64() * 1e3);
+            if req.nowcast.is_some() {
+                self.nowcasts.fetch_add(1, Ordering::Relaxed);
+                self.metrics.nowcast_latency_ms.record(latency.as_secs_f64() * 1e3);
+            } else {
+                self.metrics.latency_ms.record(latency.as_secs_f64() * 1e3);
+            }
             self.events.record(
                 actor,
                 ServeEvent::Completed {
@@ -305,6 +387,7 @@ impl EngineShared {
             seed: req.seed,
             member: member as u64,
             step: step as u32,
+            aux: req.aux,
         }
     }
 }
@@ -350,21 +433,44 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
             .record(worker, ServeEvent::BatchExecuted { size: live.len(), requests: req_ids.len() });
 
         // One batched model evaluation for the whole (shape-compatible)
-        // batch; every job advances on its own private RNG.
+        // batch; every job advances on its own private RNG. Nowcast tasks
+        // carry an owned per-job guidance hook (built from Arcs of the
+        // request's observations and the task's own background state), so
+        // guided and unguided member-steps mix freely in a batch.
         let forcings: Vec<Tensor> =
             live.iter().map(|t| t.req.forcings.at(tokens, t.next_step)).collect();
+        let mut guidances: Vec<Option<ObsGuidance>> = live
+            .iter()
+            .map(|t| {
+                t.req.nowcast.as_ref().map(|spec| {
+                    ObsGuidance::new(
+                        Arc::clone(&spec.obs),
+                        Arc::clone(&t.x),
+                        &fc.res_stats,
+                        spec.schedule,
+                        fc.sampler.cfg.n_steps,
+                    )
+                })
+            })
+            .collect();
         let outs = {
             let _fwd = shared
                 .tracer
                 .span(SpanCategory::Forward, worker)
                 .label("forecast_step_batch")
                 .micro(live.len() as u64);
-            let mut jobs: Vec<StepJob<'_>> = live
+            let mut jobs: Vec<GuidedStepJob<'_>> = live
                 .iter_mut()
                 .zip(&forcings)
-                .map(|(t, f)| StepJob { x_prev: t.x.as_ref(), forcings: f, rng: &mut t.rng })
+                .zip(&mut guidances)
+                .map(|((t, f), g)| GuidedStepJob {
+                    x_prev: t.x.as_ref(),
+                    forcings: f,
+                    rng: &mut t.rng,
+                    guidance: g.as_mut().map(|og| og as &mut (dyn Guidance + Send)),
+                })
                 .collect();
-            fc.forecast_step_batch(&mut jobs)
+            fc.forecast_step_batch_guided(&mut jobs)
         };
         for (mut task, next) in live.into_iter().zip(outs) {
             let next = Arc::new(next);
@@ -389,6 +495,8 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
 pub struct ServeReport {
     /// Requests served to completion.
     pub completed: u64,
+    /// Of those, nowcast (assimilation) requests.
+    pub nowcasts: u64,
     /// Requests shed for deadline reasons — at admission (budget already
     /// unmeetable) or at dequeue (expired while queued).
     pub shed: u64,
@@ -436,6 +544,7 @@ impl ServeEngine {
             drained: Condvar::new(),
             next_id: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            nowcasts: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
@@ -456,8 +565,8 @@ impl ServeEngine {
         &self.shared.tracer
     }
 
-    /// Validate, admit, and enqueue a request. Returns a [`Ticket`] the
-    /// client blocks on; every admission failure is a typed error.
+    /// Validate, admit, and enqueue a forecast request. Returns a [`Ticket`]
+    /// the client blocks on; every admission failure is a typed error.
     pub fn submit(&self, request: ForecastRequest) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::Acquire) {
@@ -466,7 +575,49 @@ impl ServeEngine {
         }
         self.validate(&request)?;
         let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
-        // Admission control: bounded outstanding requests, fail-fast.
+        let id = self.acquire_slot()?;
+        let _adm = adm.step(id);
+        let req = Arc::new(RequestState::new(id, &request));
+        shared.events.record(
+            CLIENT_ACTOR,
+            ServeEvent::Admitted { req: id, members: request.n_members, steps: request.steps },
+        );
+        self.enqueue_members(req)
+    }
+
+    /// Validate, admit, and enqueue a nowcast (assimilation) request. The
+    /// returned [`Ticket`] resolves to a 1-step [`ForecastResponse`] whose
+    /// `members[m][0]` is member `m`'s analysis state, bitwise identical to
+    /// `aeris_assim::nowcast_member` with the same inputs. Nowcast
+    /// member-steps run through the same micro-batcher as forecasts and the
+    /// rollout cache answers exact replays (keyed on the observation digest
+    /// and guidance schedule).
+    pub fn submit_nowcast(&self, request: NowcastRequest) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::Acquire) {
+            shared.events.record(CLIENT_ACTOR, ServeEvent::RejectedShutdown);
+            return Err(ServeError::Shutdown);
+        }
+        self.validate_nowcast(&request)?;
+        let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
+        let id = self.acquire_slot()?;
+        let _adm = adm.step(id);
+        let req = Arc::new(RequestState::new_nowcast(id, &request));
+        shared.events.record(
+            CLIENT_ACTOR,
+            ServeEvent::AdmittedNowcast {
+                req: id,
+                members: request.n_members,
+                n_obs: request.observations.n_present(),
+            },
+        );
+        self.enqueue_members(req)
+    }
+
+    /// Admission control: bounded outstanding requests, fail-fast. On
+    /// success the caller owns one outstanding slot and a fresh request id.
+    fn acquire_slot(&self) -> Result<u64, ServeError> {
+        let shared = &self.shared;
         {
             let mut g = shared.outstanding.lock();
             if *g >= shared.cfg.queue_capacity {
@@ -478,14 +629,13 @@ impl ServeEngine {
             }
             *g += 1;
         }
-        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let _adm = adm.step(id);
-        let req = Arc::new(RequestState::new(id, &request));
-        shared.events.record(
-            CLIENT_ACTOR,
-            ServeEvent::Admitted { req: id, members: request.n_members, steps: request.steps },
-        );
+        Ok(shared.next_id.fetch_add(1, Ordering::Relaxed))
+    }
 
+    /// The admitted-request tail shared by both request kinds.
+    fn enqueue_members(&self, req: Arc<RequestState>) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        let id = req.id;
         // Per member: reuse the longest contiguous cached prefix, then
         // enqueue the remainder (fully-cached members finish right here).
         let mut tasks = Vec::new();
@@ -564,28 +714,94 @@ impl ServeEngine {
                 r.init.shape()
             )));
         }
-        if !r.forcings.covers(r.steps) {
+        self.validate_forcings(&r.forcings, r.steps)
+    }
+
+    fn validate_forcings(&self, forcings: &Forcings, steps: usize) -> Result<(), ServeError> {
+        let cfg = &self.shared.forecaster.model.cfg;
+        if !forcings.covers(steps) {
             return Err(ServeError::BadRequest(format!(
-                "forcing table does not cover {} steps",
-                r.steps
+                "forcing table does not cover {steps} steps"
             )));
         }
-        if let Forcings::Table(t) = &r.forcings {
+        if let Forcings::Table(t) = forcings {
             let want = [cfg.tokens(), cfg.forcing_channels];
-            if let Some(bad) = t.iter().take(r.steps).find(|f| f.shape() != want) {
+            if let Some(bad) = t.iter().take(steps).find(|f| f.shape() != want) {
                 return Err(ServeError::BadRequest(format!(
                     "forcing tensor shape {:?} != {want:?}",
                     bad.shape()
                 )));
             }
-        } else if r.forcings.channels() != Some(cfg.forcing_channels) {
+        } else if forcings.channels() != Some(cfg.forcing_channels) {
             return Err(ServeError::BadRequest(format!(
                 "forcing channels {:?} != model forcing_channels {}",
-                r.forcings.channels(),
+                forcings.channels(),
                 cfg.forcing_channels
             )));
         }
         Ok(())
+    }
+
+    fn validate_nowcast(&self, r: &NowcastRequest) -> Result<(), ServeError> {
+        let fc = &self.shared.forecaster;
+        let cfg = &fc.model.cfg;
+        if r.n_members == 0 {
+            return Err(ServeError::BadRequest("n_members must be ≥ 1".into()));
+        }
+        let want = [cfg.tokens(), cfg.channels];
+        if r.background.shape() != want {
+            return Err(ServeError::BadRequest(format!(
+                "background shape {:?} != model state shape {want:?}",
+                r.background.shape()
+            )));
+        }
+        let obs = &r.observations;
+        if obs.tokens != cfg.tokens() || obs.channels != cfg.channels {
+            return Err(ServeError::BadRequest(format!(
+                "observation geometry {}x{} != model grid {}x{}",
+                obs.tokens,
+                obs.channels,
+                cfg.tokens(),
+                cfg.channels
+            )));
+        }
+        let n = obs.sites.len();
+        if obs.values.len() != n || obs.mask.len() != n {
+            return Err(ServeError::BadRequest(format!(
+                "inconsistent observation lengths: {n} sites, {} values, {} mask bits",
+                obs.values.len(),
+                obs.mask.len()
+            )));
+        }
+        if obs.noise_std.len() != obs.channels {
+            return Err(ServeError::BadRequest(format!(
+                "noise_std has {} entries for {} channels",
+                obs.noise_std.len(),
+                obs.channels
+            )));
+        }
+        if let Some((ch, &s)) =
+            obs.noise_std.iter().enumerate().find(|(_, &s)| s <= 0.0 || s.is_nan())
+        {
+            return Err(ServeError::BadRequest(format!(
+                "noise_std[{ch}] = {s} must be strictly positive"
+            )));
+        }
+        if let Some(bad) =
+            obs.sites.iter().find(|s| s.token >= obs.tokens || s.channel >= obs.channels)
+        {
+            return Err(ServeError::BadRequest(format!(
+                "observation site ({}, {}) outside the {}x{} grid",
+                bad.token, bad.channel, obs.tokens, obs.channels
+            )));
+        }
+        // Guided sampling runs the solver; reject a malformed schedule here
+        // as a typed admission error instead of panicking on a worker.
+        fc.sampler
+            .cfg
+            .validate(&fc.sampler.tf)
+            .map_err(|e| ServeError::BadRequest(format!("sampler config: {e}")))?;
+        self.validate_forcings(&r.forcings, 1)
     }
 
     /// Stop admitting new requests (they fail with [`ServeError::Shutdown`]);
@@ -615,6 +831,7 @@ impl ServeEngine {
         self.shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
         ServeReport {
             completed,
+            nowcasts: self.shared.nowcasts.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             events: self.shared.events.snapshot(),
             metrics: self.shared.metrics.clone(),
@@ -645,6 +862,11 @@ impl ServeEngine {
     /// Requests served to completion so far.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Nowcast requests served to completion so far.
+    pub fn nowcasts(&self) -> u64 {
+        self.shared.nowcasts.load(Ordering::Relaxed)
     }
 
     /// Requests shed for deadline reasons so far.
@@ -821,6 +1043,118 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.completed, 2);
         assert_eq!(report.shed, 1);
+    }
+
+    fn nowcast_request(seed: u64, schedule: GuidanceSchedule) -> NowcastRequest {
+        let grid = aeris_earthsim::Grid::new(8, 16);
+        let mut rng = Rng::seed_from(seed ^ 0x0B5);
+        let background = Tensor::randn(&[128, 4], &mut rng);
+        let truth = Tensor::randn(&[128, 4], &mut rng);
+        let op = aeris_assim::ObsOperator::stations(&grid, 24, &[0, 1], &[0.5; 4], seed);
+        NowcastRequest {
+            background,
+            forcings: Forcings::Zeros { channels: 3 },
+            observations: Arc::new(op.observe(&truth, 0.1, seed ^ 0x7)),
+            schedule,
+            n_members: 2,
+            seed,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn served_nowcast_matches_direct_guided_call_bitwise() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(Arc::clone(&fc), ServeConfig::default());
+        let sched = GuidanceSchedule::Ramp { start: 0.0, end: 0.4 };
+        let req = nowcast_request(70, sched);
+        let bg = Arc::new(req.background.clone());
+        let forc = Tensor::zeros(&[128, 3]);
+        let resp = engine.submit_nowcast(req.clone()).expect("admitted").wait().expect("served");
+        assert_eq!(resp.forecast.members.len(), 2);
+        for (m, member) in resp.forecast.members.iter().enumerate() {
+            assert_eq!(member.len(), 1, "nowcasts are one analysis step");
+            let direct = aeris_assim::nowcast_member(
+                &fc, &bg, &forc, &req.observations, sched, 70, m,
+            );
+            assert_eq!(member[0], direct, "served nowcast member {m} ≠ direct guided call");
+        }
+        assert!(engine.events().any(|e| matches!(e, ServeEvent::AdmittedNowcast { .. })));
+        let report = engine.shutdown();
+        assert_eq!(report.nowcasts, 1);
+        assert_eq!(report.metrics.nowcast_latency_ms.count(), 1);
+        assert_eq!(report.metrics.latency_ms.count(), 0, "forecast series untouched");
+    }
+
+    #[test]
+    fn nowcast_replay_is_served_from_cache_keyed_on_obs_digest() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(fc, ServeConfig::default());
+        let sched = GuidanceSchedule::Constant(0.3);
+        let first =
+            engine.submit_nowcast(nowcast_request(71, sched)).expect("admitted").wait().unwrap();
+        assert_eq!(first.computed_steps, 2);
+        // Exact replay: fully cached.
+        let replay =
+            engine.submit_nowcast(nowcast_request(71, sched)).expect("admitted").wait().unwrap();
+        assert_eq!(replay.computed_steps, 0);
+        assert_eq!(replay.cache_hits, 2);
+        assert_eq!(replay.forecast.members, first.forecast.members);
+        // Different observations (different seed → different values/digest)
+        // must NOT alias, despite the same background/seed/schedule.
+        let mut other = nowcast_request(71, sched);
+        other.observations =
+            Arc::new((*nowcast_request(72, sched).observations).clone());
+        let cold = engine.submit_nowcast(other).expect("admitted").wait().unwrap();
+        assert_eq!(cold.cache_hits, 0, "obs digest must separate cache entries");
+        assert_ne!(cold.forecast.members, first.forecast.members);
+    }
+
+    #[test]
+    fn off_schedule_nowcast_shares_cache_with_a_forecast() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(Arc::clone(&fc), ServeConfig::default());
+        let now = nowcast_request(73, GuidanceSchedule::off());
+        // A 1-step forecast with the same init/seed is the same trajectory.
+        let fr = ForecastRequest {
+            init: now.background.clone(),
+            forcings: Forcings::Zeros { channels: 3 },
+            steps: 1,
+            n_members: 2,
+            seed: 73,
+            deadline: None,
+        };
+        let served = engine.submit(fr).expect("admitted").wait().unwrap();
+        let cached = engine.submit_nowcast(now).expect("admitted").wait().unwrap();
+        assert_eq!(cached.cache_hits, 2, "off-schedule nowcast reuses the forecast's entries");
+        assert_eq!(cached.forecast.members, served.forecast.members);
+    }
+
+    #[test]
+    fn malformed_nowcasts_fail_typed() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        let sched = GuidanceSchedule::Constant(0.2);
+        let mut bad_shape = nowcast_request(1, sched);
+        bad_shape.background = Tensor::zeros(&[64, 4]);
+        assert!(matches!(engine.submit_nowcast(bad_shape), Err(ServeError::BadRequest(_))));
+        let mut bad_geom = nowcast_request(1, sched);
+        let mut obs = (*bad_geom.observations).clone();
+        obs.tokens = 64;
+        bad_geom.observations = Arc::new(obs);
+        assert!(matches!(engine.submit_nowcast(bad_geom), Err(ServeError::BadRequest(_))));
+        let mut bad_site = nowcast_request(1, sched);
+        let mut obs = (*bad_site.observations).clone();
+        obs.sites[0].token = obs.tokens + 1;
+        bad_site.observations = Arc::new(obs);
+        assert!(matches!(engine.submit_nowcast(bad_site), Err(ServeError::BadRequest(_))));
+        let mut bad_noise = nowcast_request(1, sched);
+        let mut obs = (*bad_noise.observations).clone();
+        obs.noise_std[0] = 0.0;
+        bad_noise.observations = Arc::new(obs);
+        assert!(matches!(engine.submit_nowcast(bad_noise), Err(ServeError::BadRequest(_))));
+        let mut zero_members = nowcast_request(1, sched);
+        zero_members.n_members = 0;
+        assert!(matches!(engine.submit_nowcast(zero_members), Err(ServeError::BadRequest(_))));
     }
 
     #[test]

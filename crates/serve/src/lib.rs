@@ -43,6 +43,8 @@ mod batcher;
 pub mod cache;
 pub mod engine;
 
-pub use api::{ForecastRequest, ForecastResponse, Forcings, ServeConfig, ServeError};
+pub use api::{
+    ForecastRequest, ForecastResponse, Forcings, NowcastRequest, ServeConfig, ServeError,
+};
 pub use cache::{content_hash, CacheEntry, CacheKey, CacheStats, RolloutCache};
 pub use engine::{ServeEngine, ServeEvent, ServeMetrics, ServeReport, Ticket};
