@@ -30,5 +30,8 @@ pub mod nowcast;
 pub mod operator;
 
 pub use guidance::{GuidanceSchedule, ObsGuidance};
-pub use nowcast::{nowcast_ensemble, nowcast_member, NowcastEnsemble};
+pub use nowcast::{
+    nowcast_ensemble, nowcast_member, nowcast_member_fast, relax_toward_observations,
+    NowcastEnsemble,
+};
 pub use operator::{ObsOperator, ObsSite, ObservationSet};

@@ -147,6 +147,8 @@ fn bench_serve(tracer: &Tracer) -> f64 {
                         n_members: 2,
                         seed,
                         deadline: None,
+                        tenant: None,
+                        tier: None,
                     })
                     .expect("admitted")
             })

@@ -1,22 +1,27 @@
 //! Serving-engine throughput: requests/s and latency percentiles as a
-//! function of micro-batch size and cache-hit rate, per-request-type
-//! latency under a mixed forecast/nowcast load, plus the un-standardize
-//! kernel comparison (scalar indexing vs row-slice sweep) that motivates the
+//! function of micro-batch size and cache-hit rate, per-tier capacity and
+//! latency for the two-tier (full sampler vs distilled one-step student)
+//! engine under a mixed multi-tenant load, plus the un-standardize kernel
+//! comparison (scalar indexing vs row-slice sweep) that motivates the
 //! row-major hot loop in `Forecaster::forecast_step`.
 //!
-//! Emits `BENCH_serve.json` with the throughput sweeps and the per-kind
-//! (forecast vs nowcast) p50/p99, read off the engine's own per-kind
-//! latency series (`serve_latency_ms` / `serve_nowcast_latency_ms`).
+//! Emits `BENCH_serve.json` with the throughput sweeps, a `tiers` object
+//! (per-tier req/s, p50/p99 ms, completed/shed counts, read off the
+//! engine's own per-tier latency series and report counters), and a
+//! `tenants` array from the same report.
 //!
 //! Run: `cargo run --release -p aeris-bench --bin serve_throughput`
 //! (`AERIS_FULL=1` for more requests per configuration).
 
 use aeris_assim::{GuidanceSchedule, ObsOperator, ObservationSet};
 use aeris_bench::{fmt_row, header, toy_model_config, toy_vars};
-use aeris_core::{AerisModel, Forecaster};
+use aeris_core::{AerisModel, ConsistencyStudent, Forecaster};
 use aeris_diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
 use aeris_earthsim::{Grid, NormStats};
-use aeris_serve::{ForecastRequest, Forcings, NowcastRequest, ServeConfig, ServeEngine};
+use aeris_serve::{
+    ForecastRequest, Forcings, NowcastRequest, QuotaConfig, ServeConfig, ServeEngine,
+    TenantPolicy, Tier,
+};
 use aeris_tensor::{Rng, Tensor};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,6 +29,8 @@ use std::time::{Duration, Instant};
 fn forecaster() -> Arc<Forecaster> {
     // Untrained weights: serving cost is architecture + sampler dependent,
     // not weight dependent, so skip training and measure the machinery.
+    // 6 solver steps with the second-order corrector = 12 network evals per
+    // member-step on the quality tier, vs 1 for the distilled student.
     let cfg = toy_model_config(&toy_vars());
     let channels = cfg.channels;
     let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
@@ -33,9 +40,35 @@ fn forecaster() -> Arc<Forecaster> {
         stats,
         sampler: TrigFlowSampler::new(
             TrigFlow::default(),
-            SamplerConfig { n_steps: 4, churn: 0.1, second_order: false },
+            SamplerConfig { n_steps: 6, churn: 0.1, second_order: true },
         ),
     })
+}
+
+/// The fast tier's one-step model. Teacher-copy weights (zero distillation
+/// steps): throughput depends on the NFE count and architecture, not on how
+/// well the student was trained, so the copy measures exactly the serving
+/// cost a distilled student would have.
+fn student_of(fc: &Forecaster) -> Arc<ConsistencyStudent> {
+    Arc::new(ConsistencyStudent {
+        model: fc.replicate().model,
+        stats: fc.stats.clone(),
+        res_stats: fc.res_stats.clone(),
+        tf: fc.sampler.tf,
+    })
+}
+
+fn forecast_request(tokens: usize, channels: usize, seed: u64) -> ForecastRequest {
+    ForecastRequest {
+        init: Tensor::randn(&[tokens, channels], &mut Rng::seed_from(seed ^ 0xA15)),
+        forcings: Forcings::Zeros { channels: 3 },
+        steps: 2,
+        n_members: 2,
+        seed,
+        deadline: None,
+        tenant: None,
+        tier: None,
+    }
 }
 
 struct LoadResult {
@@ -74,17 +107,8 @@ fn drive(
             std::thread::spawn(move || {
                 for i in (c..n_requests).step_by(4) {
                     let seed = (i % distinct) as u64;
-                    let init =
-                        Tensor::randn(&[tokens, channels], &mut Rng::seed_from(seed ^ 0xA15));
                     let ticket = engine
-                        .submit(ForecastRequest {
-                            init,
-                            forcings: Forcings::Zeros { channels: 3 },
-                            steps: 2,
-                            n_members: 2,
-                            seed,
-                            deadline: None,
-                        })
+                        .submit(forecast_request(tokens, channels, seed))
                         .expect("admitted");
                     ticket.wait().expect("served");
                 }
@@ -106,25 +130,107 @@ fn drive(
     }
 }
 
-struct MixedResult {
+/// Per-tier capacity: `n_requests` pinned to one tier through a fresh
+/// two-tier engine (same worker count per tier, all-distinct seeds, no
+/// caching help), 4 client threads.
+fn tier_capacity(
+    fc: &Arc<Forecaster>,
+    student: &Arc<ConsistencyStudent>,
+    tier: Tier,
+    n_requests: usize,
+) -> f64 {
+    let engine = Arc::new(ServeEngine::start_two_tier(
+        Arc::clone(fc),
+        Arc::clone(student),
+        ServeConfig {
+            workers: 4,
+            fast_workers: 4,
+            queue_capacity: n_requests,
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    ));
+    let tokens = fc.model.cfg.tokens();
+    let channels = fc.model.cfg.channels;
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in (c..n_requests).step_by(4) {
+                    let mut req = forecast_request(tokens, channels, i as u64);
+                    req.tier = Some(tier);
+                    engine.submit(req).expect("admitted").wait().expect("served");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    drop(engine);
+    n_requests as f64 / wall
+}
+
+struct TierRow {
     req_per_s: f64,
-    forecast_p50_ms: f64,
-    forecast_p99_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    shed: u64,
+}
+
+struct TenantRow {
+    tenant: String,
+    completed: u64,
+    shed: u64,
+    quota_denied: u64,
+}
+
+struct TieredResult {
+    mixed_req_per_s: f64,
+    tiers: [TierRow; 2], // [fast, quality]
+    tenants: Vec<TenantRow>,
     nowcast_p50_ms: f64,
     nowcast_p99_ms: f64,
 }
 
-/// Drive an even forecast/nowcast mix through one engine from 4 client
-/// threads and read the per-kind latency percentiles off the engine's own
-/// split series.
-fn drive_mixed(fc: &Arc<Forecaster>, n_requests: usize) -> MixedResult {
-    let engine = Arc::new(ServeEngine::start(
+/// The headline mixed load: two tenants (an "ops" desk with 4× weight and a
+/// quota-capped "research" tenant) driving an even forecast/nowcast mix,
+/// half of it pinned fast and half quality, plus a slice of zero-deadline
+/// requests that the engine sheds at admission. Per-tier latency comes off
+/// the engine's own split series; per-tier/per-tenant counters off the
+/// shutdown report.
+fn drive_tiered(
+    fc: &Arc<Forecaster>,
+    student: &Arc<ConsistencyStudent>,
+    n_requests: usize,
+    capacities: [f64; 2],
+) -> TieredResult {
+    let engine = Arc::new(ServeEngine::start_two_tier(
         Arc::clone(fc),
+        Arc::clone(student),
         ServeConfig {
             workers: 4,
-            queue_capacity: n_requests,
+            fast_workers: 2,
+            queue_capacity: 2 * n_requests,
             max_batch: 8,
             max_wait: Duration::from_millis(1),
+            quota: Some(QuotaConfig {
+                default: TenantPolicy { weight: 1.0, rate: 0.0, burst: 0.0 },
+                overrides: vec![
+                    (Arc::from("ops"), TenantPolicy { weight: 4.0, rate: 0.0, burst: 0.0 }),
+                    // Research demands ~1.5 member-steps per request of the
+                    // whole mix; a burst of n_requests covers about 2/3 of
+                    // that, so the tail is refused at admission.
+                    (
+                        Arc::from("research"),
+                        TenantPolicy { weight: 1.0, rate: 1e-9, burst: n_requests as f64 },
+                    ),
+                ],
+            }),
             ..ServeConfig::default()
         },
     ));
@@ -137,8 +243,7 @@ fn drive_mixed(fc: &Arc<Forecaster>, n_requests: usize) -> MixedResult {
     let op = ObsOperator::stations(&grid, tokens / 4, &[0, 1], &vec![0.5; channels], 17);
     let observations: Vec<Arc<ObservationSet>> = (0..4)
         .map(|i| {
-            let truth =
-                Tensor::randn(&[tokens, channels], &mut Rng::seed_from(0xBE5 + i as u64));
+            let truth = Tensor::randn(&[tokens, channels], &mut Rng::seed_from(0xBE5 + i as u64));
             Arc::new(op.observe(&truth, 0.05, 0x0B5 + i as u64))
         })
         .collect();
@@ -148,53 +253,94 @@ fn drive_mixed(fc: &Arc<Forecaster>, n_requests: usize) -> MixedResult {
             let engine = Arc::clone(&engine);
             let observations = observations.clone();
             std::thread::spawn(move || {
+                let tenant: Arc<str> = if c % 2 == 0 { Arc::from("ops") } else { Arc::from("research") };
+                let mut quota_denied = 0usize;
                 for i in (c..n_requests).step_by(4) {
                     let seed = i as u64;
-                    let init =
-                        Tensor::randn(&[tokens, channels], &mut Rng::seed_from(seed ^ 0xA15));
-                    if i % 2 == 0 {
-                        engine
-                            .submit(ForecastRequest {
-                                init,
-                                forcings: Forcings::Zeros { channels: 3 },
-                                steps: 2,
-                                n_members: 2,
-                                seed,
-                                deadline: None,
-                            })
-                            .expect("admitted")
-                            .wait()
-                            .expect("served");
+                    let tier = Some(if i % 2 == 0 { Tier::Fast } else { Tier::Quality });
+                    // Every 8th request carries a spent deadline: it is shed
+                    // at admission, exercising the deadline path under load.
+                    let deadline =
+                        if i % 8 == 7 { Some(Duration::ZERO) } else { None };
+                    let outcome = if i % 4 < 2 {
+                        let mut req = forecast_request(tokens, channels, seed);
+                        req.tier = tier;
+                        req.tenant = Some(Arc::clone(&tenant));
+                        req.deadline = deadline;
+                        engine.submit(req).map(|t| t.wait())
                     } else {
                         engine
                             .submit_nowcast(NowcastRequest {
-                                background: init,
+                                background: Tensor::randn(
+                                    &[tokens, channels],
+                                    &mut Rng::seed_from(seed ^ 0xA15),
+                                ),
                                 forcings: Forcings::Zeros { channels: 3 },
-                                observations: Arc::clone(&observations[i % 4 / 2]),
+                                observations: Arc::clone(&observations[i % 4]),
                                 schedule: GuidanceSchedule::Constant(0.05),
                                 n_members: 2,
                                 seed,
-                                deadline: None,
+                                deadline,
+                                tenant: Some(Arc::clone(&tenant)),
+                                tier,
                             })
-                            .expect("admitted")
-                            .wait()
-                            .expect("served");
+                            .map(|t| t.wait())
+                    };
+                    match outcome {
+                        Ok(Ok(_)) => {}
+                        Ok(Err(e)) => panic!("serve failed: {e}"),
+                        Err(aeris_serve::ServeError::DeadlineExceeded { .. }) => {}
+                        Err(aeris_serve::ServeError::QuotaExceeded { .. }) => quota_denied += 1,
+                        Err(e) => panic!("admission failed: {e}"),
                     }
                 }
+                quota_denied
             })
         })
         .collect();
+    let mut denied = 0usize;
     for c in clients {
-        c.join().expect("client panicked");
+        denied += c.join().expect("client panicked");
     }
     let wall = t0.elapsed().as_secs_f64();
     let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("clients done"));
     let report = engine.shutdown();
+    assert_eq!(denied as u64, report.quota_denied, "client/report quota accounting disagrees");
     let p = |series: &aeris_obs::MetricSeries, q: f64| series.percentile(q).unwrap_or(f64::NAN);
-    MixedResult {
-        req_per_s: n_requests as f64 / wall,
-        forecast_p50_ms: p(&report.metrics.latency_ms, 50.0),
-        forecast_p99_ms: p(&report.metrics.latency_ms, 99.0),
+    // Per-tier latency under the mix: forecast + nowcast samples pooled.
+    let pooled = |fast: bool, q: f64| {
+        let (a, b) = if fast {
+            (&report.metrics.fast_latency_ms, &report.metrics.fast_nowcast_latency_ms)
+        } else {
+            (&report.metrics.latency_ms, &report.metrics.nowcast_latency_ms)
+        };
+        // Percentile over the union via the larger series when one is empty.
+        match (a.count(), b.count()) {
+            (0, _) => p(b, q),
+            (_, 0) => p(a, q),
+            _ => 0.5 * (p(a, q) + p(b, q)),
+        }
+    };
+    let tiers = [Tier::Fast, Tier::Quality].map(|t| TierRow {
+        req_per_s: capacities[if t == Tier::Fast { 0 } else { 1 }],
+        p50_ms: pooled(t == Tier::Fast, 50.0),
+        p99_ms: pooled(t == Tier::Fast, 99.0),
+        completed: report.tier(t).completed,
+        shed: report.tier(t).shed,
+    });
+    TieredResult {
+        mixed_req_per_s: report.completed as f64 / wall,
+        tiers,
+        tenants: report
+            .tenants
+            .iter()
+            .map(|(name, c)| TenantRow {
+                tenant: name.clone(),
+                completed: c.completed,
+                shed: c.shed,
+                quota_denied: c.quota_denied,
+            })
+            .collect(),
         nowcast_p50_ms: p(&report.metrics.nowcast_latency_ms, 50.0),
         nowcast_p99_ms: p(&report.metrics.nowcast_latency_ms, 99.0),
     }
@@ -229,6 +375,7 @@ fn main() {
     let full = std::env::var("AERIS_FULL").map(|v| v == "1").unwrap_or(false);
     let n_requests = if full { 96 } else { 32 };
     let fc = forecaster();
+    let student = student_of(&fc);
     let tokens = fc.model.cfg.tokens();
 
     header("Serving throughput vs micro-batch size");
@@ -273,13 +420,39 @@ fn main() {
         ));
     }
 
-    header("Mixed forecast/nowcast load: per-request-type latency");
-    println!("{n_requests} requests, 50% nowcasts, max_batch 8, shared station network");
-    let m = drive_mixed(&fc, n_requests);
-    println!("{:<16}{:>10}{:>10}", "kind", "p50 ms", "p99 ms");
-    println!("{:<16}{:>10.1}{:>10.1}", "forecast", m.forecast_p50_ms, m.forecast_p99_ms);
-    println!("{:<16}{:>10.1}{:>10.1}", "nowcast", m.nowcast_p50_ms, m.nowcast_p99_ms);
-    println!("mixed load: {:.2} req/s", m.req_per_s);
+    header("Per-tier capacity: distilled fast tier vs full-sampler quality tier");
+    println!("{n_requests} requests pinned per tier, 4 workers each, 12 vs 1 network evals/step");
+    let fast_cap = tier_capacity(&fc, &student, Tier::Fast, n_requests);
+    let quality_cap = tier_capacity(&fc, &student, Tier::Quality, n_requests);
+    println!("{:<16}{:>10}{:>12}", "tier", "req/s", "speedup");
+    println!("{:<16}{:>10.2}{:>12}", "quality", quality_cap, "1.0x");
+    println!("{:<16}{:>10.2}{:>11.1}x", "fast", fast_cap, fast_cap / quality_cap);
+
+    header("Mixed two-tier multi-tenant load");
+    println!(
+        "{n_requests} requests, 50% nowcasts, 50% pinned fast, 2 tenants, \
+         1/8 spent deadlines, quota-capped research tenant"
+    );
+    let m = drive_tiered(&fc, &student, n_requests, [fast_cap, quality_cap]);
+    println!("{:<16}{:>10}{:>10}{:>12}{:>8}", "tier", "p50 ms", "p99 ms", "completed", "shed");
+    for (t, row) in [Tier::Fast, Tier::Quality].iter().zip(&m.tiers) {
+        println!(
+            "{:<16}{:>10.1}{:>10.1}{:>12}{:>8}",
+            t.name(),
+            row.p50_ms,
+            row.p99_ms,
+            row.completed,
+            row.shed
+        );
+    }
+    println!("{:<16}{:>12}{:>8}{:>14}", "tenant", "completed", "shed", "quota denied");
+    for t in &m.tenants {
+        println!(
+            "{:<16}{:>12}{:>8}{:>14}",
+            t.tenant, t.completed, t.shed, t.quota_denied
+        );
+    }
+    println!("mixed load: {:.2} req/s completed", m.mixed_req_per_s);
 
     header("Un-standardize kernel: scalar at() vs row-slice sweep");
     let channels = fc.model.cfg.channels;
@@ -309,18 +482,39 @@ fn main() {
     println!("{}", fmt_row("speedup", &[scalar_us / rows_us], 12, 2));
     assert!(sink.is_finite());
 
+    let tier_json = |row: &TierRow| {
+        format!(
+            "{{\"req_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"completed\": {}, \"shed\": {}}}",
+            row.req_per_s, row.p50_ms, row.p99_ms, row.completed, row.shed
+        )
+    };
+    let tenant_rows: Vec<String> = m
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\": \"{}\", \"completed\": {}, \"shed\": {}, \"quota_denied\": {}}}",
+                t.tenant, t.completed, t.shed, t.quota_denied
+            )
+        })
+        .collect();
     let out = format!(
         "{{\n  \"batch_sweep\": [\n    {}\n  ],\n  \"cache_sweep\": [\n    {}\n  ],\n  \
+         \"tiers\": {{\n    \"fast\": {},\n    \"quality\": {},\n    \
+         \"fast_speedup\": {:.3}\n  }},\n  \
+         \"tenants\": [\n    {}\n  ],\n  \
          \"mixed_load\": {{\n    \"req_per_s\": {:.3},\n    \
-         \"forecast\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
          \"nowcast\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}\n  }},\n  \
          \"unstandardize_kernel\": {{\"scalar_us\": {scalar_us:.3}, \"rows_us\": {rows_us:.3}, \
          \"speedup\": {:.3}}}\n}}\n",
         batch_rows.join(",\n    "),
         cache_rows.join(",\n    "),
-        m.req_per_s,
-        m.forecast_p50_ms,
-        m.forecast_p99_ms,
+        tier_json(&m.tiers[0]),
+        tier_json(&m.tiers[1]),
+        fast_cap / quality_cap,
+        tenant_rows.join(",\n    "),
+        m.mixed_req_per_s,
         m.nowcast_p50_ms,
         m.nowcast_p99_ms,
         scalar_us / rows_us,

@@ -11,7 +11,7 @@
 //! trajectories. After distillation a forecast step costs **one** network
 //! evaluation instead of `2·n_steps` (the DPMSolver++ 2S budget).
 
-use crate::forecast::Forecaster;
+use crate::forecast::{Forecaster, StepJob};
 use crate::model::AerisModel;
 use crate::training::TrainSample;
 use aeris_autodiff::Tape;
@@ -151,6 +151,72 @@ impl ConsistencyStudent {
         next
     }
 
+    /// Batched one-step forecast: advance several independent states by one
+    /// distilled step each. The same purity discipline as
+    /// [`Forecaster::forecast_step_batch`]: every job owns its RNG, so batch
+    /// composition and order can never change a job's numbers — the serving
+    /// engine's fast tier coalesces requests under exactly this contract.
+    pub fn forecast_step_batch(&self, jobs: &mut [StepJob<'_>]) -> Vec<Tensor> {
+        jobs.iter_mut()
+            .into_par_iter()
+            .map(|job| self.forecast_step(job.x_prev, job.forcings, job.rng))
+            .collect()
+    }
+
+    /// A bitwise-identical copy with its own parameter storage (replica
+    /// pools in the serving engine; see [`Forecaster::replicate`]).
+    pub fn replicate(&self) -> ConsistencyStudent {
+        let mut model = AerisModel::new(self.model.cfg.clone());
+        model.store.restore(&self.model.store.snapshot());
+        ConsistencyStudent {
+            model,
+            stats: self.stats.clone(),
+            res_stats: self.res_stats.clone(),
+            tf: self.tf,
+        }
+    }
+
+    /// Save the student checkpoint: `<path>` gets the weights, `<path>.stats`
+    /// the two normalization blocks (same layout as [`Forecaster::save`], so
+    /// the formats stay mutually inspectable).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        aeris_nn::save_params(&self.model.store, path)?;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            path.with_extension("stats"),
+        )?);
+        use std::io::Write;
+        for stats in [&self.stats, &self.res_stats] {
+            f.write_all(&(stats.mean.len() as u32).to_le_bytes())?;
+            for &v in stats.mean.iter().chain(&stats.std) {
+                f.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a student checkpoint saved by [`ConsistencyStudent::save`] into
+    /// a student built from the same config. This is how a serving engine
+    /// picks up a distilled fast path produced by a training run.
+    pub fn load(
+        cfg: crate::config::AerisConfig,
+        tf: TrigFlow,
+        path: &std::path::Path,
+    ) -> std::io::Result<ConsistencyStudent> {
+        let mut model = AerisModel::new(cfg);
+        aeris_nn::load_params(&mut model.store, path)?;
+        let bytes = std::fs::read(path.with_extension("stats"))?;
+        let mut off = 0usize;
+        let stats = crate::forecast::read_stats(&bytes, &mut off)?;
+        let res_stats = crate::forecast::read_stats(&bytes, &mut off)?;
+        if off != bytes.len() {
+            return Err(crate::forecast::stats_corrupt(format!(
+                "{} trailing bytes after statistics",
+                bytes.len() - off
+            )));
+        }
+        Ok(ConsistencyStudent { model, stats, res_stats, tf })
+    }
+
     /// Single-step autoregressive rollout.
     pub fn rollout(
         &self,
@@ -237,6 +303,49 @@ mod tests {
         let forc = |_k: usize| Tensor::zeros(&[128, 3]);
         let ens = student.ensemble(&samples[0].x_prev, &forc, 2, 2, 5);
         assert!(ens[0][1].max_abs_diff(&ens[1][1]) > 1e-7);
+    }
+
+    #[test]
+    fn student_batched_step_matches_sequential_bitwise() {
+        let (teacher, samples, weights) = make_teacher_and_samples();
+        let cfg = DistillConfig { steps: 4, n_times: 6, ..Default::default() };
+        let student = ConsistencyStudent::distill(&teacher, &samples, &weights, cfg);
+        let forc = Tensor::zeros(&[128, 3]);
+        let root = Rng::seed_from(21);
+        let expect: Vec<Tensor> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| student.forecast_step(&s.x_prev, &forc, &mut root.stream(i as u64)))
+            .collect();
+        let mut rngs: Vec<Rng> = (0..samples.len()).map(|i| root.stream(i as u64)).collect();
+        let mut jobs: Vec<StepJob> = samples
+            .iter()
+            .zip(&mut rngs)
+            .map(|(s, rng)| StepJob { x_prev: &s.x_prev, forcings: &forc, rng })
+            .collect();
+        let got = student.forecast_step_batch(&mut jobs);
+        assert_eq!(expect, got, "batching must not change the student's numbers");
+    }
+
+    #[test]
+    fn student_save_load_and_replicate_are_bitwise() {
+        let (teacher, samples, weights) = make_teacher_and_samples();
+        let cfg = DistillConfig { steps: 4, n_times: 6, ..Default::default() };
+        let student = ConsistencyStudent::distill(&teacher, &samples, &weights, cfg);
+        let dir = std::env::temp_dir().join(format!("aeris_student_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("student.params");
+        student.save(&path).unwrap();
+        let loaded =
+            ConsistencyStudent::load(AerisConfig::test_tiny(), student.tf, &path).unwrap();
+        let copy = student.replicate();
+        let forc = |_k: usize| Tensor::zeros(&[128, 3]);
+        let a = student.ensemble(&samples[0].x_prev, &forc, 2, 2, 31);
+        let b = loaded.ensemble(&samples[0].x_prev, &forc, 2, 2, 31);
+        let c = copy.ensemble(&samples[0].x_prev, &forc, 2, 2, 31);
+        assert_eq!(a, b, "loaded student diverged from the original");
+        assert_eq!(a, c, "replicated student diverged from the original");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub struct EnsembleForecast {
 }
 
 /// Typed corrupt-statistics error for [`Forecaster::load`].
-fn stats_corrupt(detail: String) -> std::io::Error {
+pub(crate) fn stats_corrupt(detail: String) -> std::io::Error {
     std::io::Error::new(
         std::io::ErrorKind::InvalidData,
         format!("corrupt .stats file: {detail}"),
@@ -69,7 +69,7 @@ fn stats_corrupt(detail: String) -> std::io::Error {
 /// f32 values) from `bytes` starting at `*off`, advancing the offset.
 /// Truncated or absurd inputs surface as [`std::io::ErrorKind::InvalidData`]
 /// instead of a panic.
-fn read_stats(bytes: &[u8], off: &mut usize) -> std::io::Result<NormStats> {
+pub(crate) fn read_stats(bytes: &[u8], off: &mut usize) -> std::io::Result<NormStats> {
     let header = bytes
         .get(*off..*off + 4)
         .ok_or_else(|| stats_corrupt(format!("truncated header at byte {}", *off)))?;
@@ -162,6 +162,21 @@ impl Forecaster {
             )));
         }
         Ok(Forecaster { model, stats, res_stats, sampler })
+    }
+
+    /// A bitwise-identical copy with its own parameter storage (snapshot +
+    /// restore of the store). Replica pools in the serving engine use this to
+    /// give each worker group an independent instance; the copies produce
+    /// identical numbers by construction.
+    pub fn replicate(&self) -> Forecaster {
+        let mut model = AerisModel::new(self.model.cfg.clone());
+        model.store.restore(&self.model.store.snapshot());
+        Forecaster {
+            model,
+            stats: self.stats.clone(),
+            res_stats: self.res_stats.clone(),
+            sampler: self.sampler,
+        }
     }
 
     /// One forecast step: physical `x_prev` + forcings → physical `x_next`,

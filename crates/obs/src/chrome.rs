@@ -7,6 +7,7 @@
 //! schedule, the Ulysses all-to-alls inside each slot, and the warm-up /
 //! cool-down bubbles, exactly the view the paper's Fig. 3 draws by hand.
 
+use crate::json::{self, JsonValue};
 use crate::tracer::SpanRecord;
 
 /// Serialize spans to Chrome-trace JSON. Deterministic given the spans:
@@ -51,202 +52,37 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
 }
 
 /// Minimal structural validation of a Chrome-trace JSON document: parses the
-/// JSON (full syntax, no external deps), requires a top-level object with a
-/// `traceEvents` array of objects each carrying the mandatory `ph`/`ts`/
-/// `pid`/`tid`/`name` keys, and returns the event count.
+/// JSON (full syntax via [`crate::json`], no external deps), requires a
+/// top-level object with a `traceEvents` array of objects each carrying the
+/// mandatory `ph`/`ts`/`pid`/`tid`/`name` keys, and returns the event count.
 pub fn validate_chrome_trace(doc: &str) -> Result<usize, String> {
-    let mut p = Parser { bytes: doc.as_bytes(), pos: 0 };
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
-    }
-    let Json::Object(top) = v else {
+    let v = json::parse(doc)?;
+    if v.as_object().is_none() {
         return Err("top level is not an object".into());
-    };
-    let Some(Json::Array(events)) = top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
-    else {
+    }
+    let Some(events) = v.get("traceEvents").and_then(JsonValue::as_array) else {
         return Err("missing traceEvents array".into());
     };
     for (i, ev) in events.iter().enumerate() {
-        let Json::Object(fields) = ev else {
+        if ev.as_object().is_none() {
             return Err(format!("event {i} is not an object"));
-        };
+        }
         for key in ["name", "ph", "ts", "pid", "tid"] {
-            if !fields.iter().any(|(k, _)| k == key) {
+            if ev.get(key).is_none() {
                 return Err(format!("event {i} missing \"{key}\""));
             }
         }
-        match fields.iter().find(|(k, _)| k == "ph").map(|(_, v)| v) {
-            Some(Json::String(ph)) if ph == "X" => {
-                if !fields.iter().any(|(k, _)| k == "dur") {
+        match ev.get("ph").and_then(JsonValue::as_str) {
+            Some("X") => {
+                if ev.get("dur").is_none() {
                     return Err(format!("complete event {i} missing \"dur\""));
                 }
             }
-            Some(Json::String(_)) => {}
-            _ => return Err(format!("event {i}: \"ph\" is not a string")),
+            Some(_) => {}
+            None => return Err(format!("event {i}: \"ph\" is not a string")),
         }
     }
     Ok(events.len())
-}
-
-/// Just enough JSON to validate our own exporter output.
-enum Json {
-    Null,
-    Bool,
-    Number,
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(format!("expected '{}' at offset {}, got '{}'", b as char, self.pos, got as char));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Json::String(self.parse_string()?)),
-            b't' => self.parse_lit("true", Json::Bool),
-            b'f' => self.parse_lit("false", Json::Bool),
-            b'n' => self.parse_lit("null", Json::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(|_| Json::Number)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or_else(|| "unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b't' => s.push('\t'),
-                        b'r' => s.push('\r'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("bad escape '\\{}'", other as char)),
-                    }
-                }
-                _ => s.push(b as char),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => return Err(format!("expected ',' or ']' got '{}'", other as char)),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            fields.push((key, self.parse_value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                other => return Err(format!("expected ',' or '}}' got '{}'", other as char)),
-            }
-        }
-    }
 }
 
 #[cfg(test)]

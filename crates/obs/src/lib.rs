@@ -10,18 +10,21 @@
 //!   lazily-sorted percentile cache and a one-lock [`MetricSeries::summary`].
 //! - exporters: [`chrome`] (Chrome-trace / Perfetto JSON of the per-rank
 //!   pipeline timeline) and [`prometheus`] (text exposition of span totals,
-//!   counters, and series summaries).
+//!   counters, and series summaries), backed by [`json`], a dependency-free
+//!   parser the repo's tests use to validate every JSON artifact they emit.
 //! - [`report`]: per-step [`StepBreakdown`]s and the measured-vs-modeled
 //!   [`MfuReport`], including the exact M = b·s·h/SP/WP byte-law check
 //!   against the runtime's traffic counters.
 
 pub mod chrome;
+pub mod json;
 pub mod metrics;
 pub mod prometheus;
 pub mod report;
 pub mod tracer;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace};
+pub use json::JsonValue;
 pub use metrics::{MetricSeries, MetricSummary};
 pub use prometheus::prometheus_text;
 pub use report::{

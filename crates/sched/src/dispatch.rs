@@ -1,0 +1,397 @@
+//! The dispatch queue: EDF for deadlined work, weighted fair queueing for
+//! the rest, shape-compatible batch formation, and a hold gate.
+//!
+//! ## Ordering invariants
+//!
+//! 1. **Deadlined before undeadlined.** A task with a deadline is, by
+//!    definition, the one that can still be lost; undeadlined work is
+//!    best-effort and waits. (Abuse of this rule — tagging everything with a
+//!    deadline — is contained by the admission-time token buckets in
+//!    [`crate::tenant`], which cap how much work a tenant can have admitted
+//!    at all.)
+//! 2. **Earliest deadline first** among deadlined tasks, submission order
+//!    breaking ties. EDF is optimal for meetable deadline sets on one
+//!    server, and a tight-deadline request submitted *after* a loose one
+//!    overtakes it — the property the tier-1 EDF test pins.
+//! 3. **Weighted fair queueing** among undeadlined tasks: each push gets a
+//!    virtual-finish tag `max(V, F_tenant) + cost/weight` (start-time fair
+//!    queueing with the global virtual clock `V` advanced on dispatch);
+//!    tasks dispatch in tag order. Over a backlog, tenants therefore
+//!    receive service proportional to their weights, and a one-task tenant
+//!    overtakes a flooding tenant's backlog instead of queueing behind it.
+//!    Deadlined pushes accrue `F_tenant` too, so a tenant burning its quota
+//!    on deadline traffic pushes its own best-effort work back, not other
+//!    tenants'.
+//!
+//! Batches are formed by sweeping same-`shape` tasks in priority order, so
+//! the batch is "the most urgent compatible work", not "the oldest". The
+//! queue never reorders *numbers* — tasks carry their own RNG streams — it
+//! only reorders *time*.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scheduling metadata a task is pushed with. The queue owns the policy;
+/// the caller owns the meaning of `shape` (batch compatibility) and `cost`
+/// (work units, e.g. remaining member-steps).
+#[derive(Clone, Debug)]
+pub struct TaskMeta {
+    /// Absolute deadline, if the request has one (EDF class).
+    pub deadline: Option<Instant>,
+    /// Owning tenant (WFQ accounting key).
+    pub tenant: Arc<str>,
+    /// Tenant WFQ weight (> 0; larger = more service under backlog).
+    pub weight: f64,
+    /// Work units this task still represents (virtual-time increment).
+    pub cost: f64,
+    /// Batch-compatibility key: only equal-`shape` tasks share one batched
+    /// model evaluation.
+    pub shape: u64,
+}
+
+struct Entry<T> {
+    meta: TaskMeta,
+    seq: u64,
+    /// WFQ virtual finish tag (undeadlined ordering key).
+    finish: f64,
+    task: T,
+}
+
+impl<T> Entry<T> {
+    /// Strict priority order: deadlined first (EDF, seq tiebreak), then
+    /// undeadlined by virtual finish tag (seq tiebreak).
+    fn before(&self, other: &Entry<T>) -> bool {
+        match (self.meta.deadline, other.meta.deadline) {
+            (Some(a), Some(b)) => (a, self.seq) < (b, other.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                (self.finish, self.seq) < (other.finish, other.seq)
+            }
+        }
+    }
+}
+
+struct Inner<T> {
+    entries: Vec<Entry<T>>,
+    tenant_finish: HashMap<Arc<str>, f64>,
+    /// Global virtual clock: advanced to the finish tag of each dispatched
+    /// undeadlined task, so idle tenants re-enter at the current frontier
+    /// instead of with ancient (unfairly small) tags.
+    vtime: f64,
+    next_seq: u64,
+    open: bool,
+    /// Test/drain gate: while held (and open), dispatch blocks even with
+    /// work pending — lets tests build a deterministic backlog.
+    held: bool,
+}
+
+/// Thread-shared pending-work pool with EDF + WFQ dispatch order.
+pub struct DispatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+impl<T> Default for DispatchQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DispatchQueue<T> {
+    pub fn new() -> Self {
+        DispatchQueue {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tenant_finish: HashMap::new(),
+                vtime: 0.0,
+                next_seq: 0,
+                open: true,
+                held: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn tag(inner: &mut Inner<T>, meta: &TaskMeta) -> f64 {
+        let weight = if meta.weight > 0.0 { meta.weight } else { 1.0 };
+        let prev = inner.tenant_finish.get(&meta.tenant).copied().unwrap_or(0.0);
+        let start = inner.vtime.max(prev);
+        let finish = start + meta.cost.max(0.0) / weight;
+        inner.tenant_finish.insert(Arc::clone(&meta.tenant), finish);
+        finish
+    }
+
+    /// Enqueue one task.
+    pub fn push(&self, task: T, meta: TaskMeta) {
+        let mut inner = self.inner.lock();
+        let finish = Self::tag(&mut inner, &meta);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(Entry { meta, seq, finish, task });
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Enqueue several tasks atomically (one request's members land as one
+    /// contiguous run so an idle worker's next sweep can batch them).
+    pub fn push_many(&self, tasks: impl IntoIterator<Item = (T, TaskMeta)>) {
+        let mut inner = self.inner.lock();
+        for (task, meta) in tasks {
+            let finish = Self::tag(&mut inner, &meta);
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.entries.push(Entry { meta, seq, finish, task });
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Number of pending tasks.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Gate dispatch: workers block (even with work pending) until
+    /// [`DispatchQueue::release`] or [`DispatchQueue::close`]. Used by tests
+    /// to build a deterministic backlog and by drains that must quiesce.
+    pub fn hold(&self) {
+        self.inner.lock().held = true;
+    }
+
+    /// Re-open dispatch after [`DispatchQueue::hold`].
+    pub fn release(&self) {
+        self.inner.lock().held = false;
+        self.available.notify_all();
+    }
+
+    /// Stop blocking on empty: workers drain what remains, then exit. Also
+    /// releases any hold (a held, closed queue would deadlock its drain).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.open = false;
+        inner.held = false;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Index of the highest-priority entry, `None` when empty.
+    fn best_index(entries: &[Entry<T>]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            match best {
+                None => best = Some(i),
+                Some(b) if e.before(&entries[b]) => best = Some(i),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Highest-priority entry whose shape matches, `None` if none does.
+    fn best_matching(entries: &[Entry<T>], shape: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            if e.meta.shape != shape {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if e.before(&entries[b]) => best = Some(i),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    fn take(inner: &mut Inner<T>, idx: usize) -> T {
+        let entry = inner.entries.remove(idx);
+        if entry.meta.deadline.is_none() {
+            inner.vtime = inner.vtime.max(entry.finish);
+        }
+        entry.task
+    }
+
+    /// Block for work and form a shape-compatible batch of at most
+    /// `max_batch` tasks, highest scheduling priority first. Returns `None`
+    /// when the queue is closed and empty (worker exit signal).
+    pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.held && inner.open {
+                self.available.wait(&mut inner);
+                continue;
+            }
+            if !inner.entries.is_empty() {
+                break;
+            }
+            if !inner.open {
+                return None;
+            }
+            self.available.wait(&mut inner);
+        }
+        let first_idx = Self::best_index(&inner.entries).expect("pool nonempty");
+        let shape = inner.entries[first_idx].meta.shape;
+        let mut batch = vec![Self::take(&mut inner, first_idx)];
+        // Give concurrent submitters a bounded chance to coalesce.
+        if batch.len() < max_batch && inner.entries.is_empty() && inner.open && !max_wait.is_zero()
+        {
+            let _ = self.available.wait_for(&mut inner, max_wait);
+        }
+        while batch.len() < max_batch {
+            match Self::best_matching(&inner.entries, shape) {
+                Some(i) => batch.push(Self::take(&mut inner, i)),
+                None => break,
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(tenant: &str, weight: f64, cost: f64) -> TaskMeta {
+        TaskMeta { deadline: None, tenant: Arc::from(tenant), weight, cost, shape: 1 }
+    }
+
+    fn with_deadline(tenant: &str, at: Instant) -> TaskMeta {
+        TaskMeta { deadline: Some(at), ..meta(tenant, 1.0, 1.0) }
+    }
+
+    fn drain_order(q: &DispatchQueue<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while q.depth() > 0 {
+            out.extend(q.next_batch(1, Duration::ZERO).expect("work pending"));
+        }
+        out
+    }
+
+    #[test]
+    fn edf_tight_deadline_overtakes_earlier_loose_ones() {
+        let q = DispatchQueue::new();
+        let now = Instant::now();
+        q.push(1u32, with_deadline("a", now + Duration::from_secs(60)));
+        q.push(2u32, with_deadline("a", now + Duration::from_secs(30)));
+        // Submitted last, due first.
+        q.push(3u32, with_deadline("b", now + Duration::from_secs(1)));
+        assert_eq!(drain_order(&q), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn deadlined_dispatches_before_undeadlined() {
+        let q = DispatchQueue::new();
+        q.push(1u32, meta("a", 1.0, 1.0));
+        q.push(2u32, with_deadline("b", Instant::now() + Duration::from_secs(900)));
+        q.push(3u32, meta("a", 1.0, 1.0));
+        assert_eq!(drain_order(&q), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn wfq_single_task_tenant_overtakes_a_flooders_backlog() {
+        let q = DispatchQueue::new();
+        for i in 0..4u32 {
+            q.push(i, meta("flooder", 1.0, 1.0));
+        }
+        q.push(100, meta("light", 1.0, 1.0));
+        let order = drain_order(&q);
+        let light_pos = order.iter().position(|&t| t == 100).unwrap();
+        assert!(
+            light_pos <= 1,
+            "light tenant must not queue behind the flooder's backlog: {order:?}"
+        );
+    }
+
+    #[test]
+    fn wfq_weights_bias_service_proportionally() {
+        let q = DispatchQueue::new();
+        for i in 0..4u32 {
+            q.push(i, meta("heavy", 2.0, 1.0));
+            q.push(10 + i, meta("light", 1.0, 1.0));
+        }
+        let order = drain_order(&q);
+        // In the first half of dispatches the weight-2 tenant gets about
+        // twice the slots of the weight-1 tenant.
+        let heavy_in_first_half =
+            order[..4].iter().filter(|&&t| t < 10).count();
+        assert!(heavy_in_first_half >= 2, "order {order:?}");
+    }
+
+    #[test]
+    fn batches_sweep_same_shape_in_priority_order() {
+        let q = DispatchQueue::new();
+        let now = Instant::now();
+        let shaped = |shape: u64, deadline: Option<Instant>| TaskMeta {
+            deadline,
+            tenant: Arc::from("t"),
+            weight: 1.0,
+            cost: 1.0,
+            shape,
+        };
+        q.push(1u32, shaped(7, Some(now + Duration::from_secs(50))));
+        q.push(2u32, shaped(9, Some(now + Duration::from_secs(10))));
+        q.push(3u32, shaped(9, Some(now + Duration::from_secs(5))));
+        q.push(4u32, shaped(9, None));
+        // Most urgent task has shape 9; the batch is shape-9 work in
+        // priority order, the shape-7 task waits.
+        let b = q.next_batch(8, Duration::ZERO).expect("work pending");
+        assert_eq!(b, vec![3, 2, 4]);
+        assert_eq!(q.next_batch(8, Duration::ZERO).expect("work pending"), vec![1]);
+    }
+
+    #[test]
+    fn max_batch_bounds_the_sweep() {
+        let q = DispatchQueue::new();
+        for i in 0..5u32 {
+            q.push(i, meta("t", 1.0, 1.0));
+        }
+        let b = q.next_batch(2, Duration::ZERO).expect("work pending");
+        assert_eq!(b.len(), 2);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = DispatchQueue::new();
+        q.push(1u32, meta("t", 1.0, 1.0));
+        q.close();
+        assert!(q.next_batch(4, Duration::ZERO).is_some(), "pending work still served");
+        assert!(q.next_batch(4, Duration::ZERO).is_none(), "closed + empty = exit");
+    }
+
+    #[test]
+    fn hold_gates_dispatch_until_release() {
+        let q = Arc::new(DispatchQueue::new());
+        q.hold();
+        q.push(1u32, meta("t", 1.0, 1.0));
+        let qt = Arc::clone(&q);
+        let h = std::thread::spawn(move || qt.next_batch(1, Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "held queue must not dispatch");
+        q.release();
+        assert_eq!(h.join().unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn idle_tenant_reenters_at_the_virtual_frontier() {
+        let q = DispatchQueue::new();
+        // Flooder accumulates virtual time, all of it dispatched.
+        for i in 0..3u32 {
+            q.push(i, meta("flooder", 1.0, 1.0));
+        }
+        drain_order(&q);
+        // A newcomer and more flooder work arrive together: the newcomer's
+        // tag starts at the frontier, not at zero, so order interleaves
+        // instead of the newcomer monopolizing.
+        q.push(50, meta("flooder", 1.0, 1.0));
+        q.push(60, meta("newcomer", 1.0, 1.0));
+        let order = drain_order(&q);
+        assert_eq!(order.len(), 2);
+        // Both tags start from vtime ⇒ equal finish; seq breaks the tie.
+        assert_eq!(order, vec![50, 60]);
+    }
+}

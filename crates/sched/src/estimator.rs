@@ -1,0 +1,119 @@
+//! Per-tier service-time estimation.
+//!
+//! Workers report the amortized cost of each executed batch (wall seconds
+//! divided by batch size — i.e. seconds per member-step *as actually
+//! served*, batching amortization included). The estimator keeps one
+//! exponentially-weighted mean per tier and answers two questions:
+//!
+//! - the router's: "how long would this request take on the quality tier?"
+//! - the dispatcher's: "is this task already doomed — will the remaining
+//!   steps of its chain outlast the deadline?" (shed at dispatch, before
+//!   wasted work, instead of at completion after it).
+//!
+//! A cold estimator answers `None`; callers fall back to conservative rules
+//! (the router's slack floor, plain `now >= deadline` expiry). That keeps
+//! the estimator strictly an optimization: it can never invent a shed that
+//! plain expiry would not eventually have produced.
+
+use crate::tier::Tier;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Samples required before an estimate is considered warm. One noisy
+/// first batch must not start shedding traffic.
+const WARM_SAMPLES: u64 = 3;
+
+/// EWMA smoothing factor (weight of the newest sample).
+const ALPHA: f64 = 0.2;
+
+#[derive(Clone, Copy, Default)]
+struct TierStat {
+    mean_secs: f64,
+    samples: u64,
+}
+
+/// Thread-shared per-tier EWMA of seconds per member-step.
+#[derive(Default)]
+pub struct ServiceEstimator {
+    tiers: Mutex<[TierStat; 2]>,
+}
+
+impl ServiceEstimator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one amortized per-member-step service time (seconds).
+    pub fn observe(&self, tier: Tier, secs_per_unit: f64) {
+        if !secs_per_unit.is_finite() || secs_per_unit < 0.0 {
+            return;
+        }
+        let mut tiers = self.tiers.lock();
+        let s = &mut tiers[tier.index()];
+        s.mean_secs = if s.samples == 0 {
+            secs_per_unit
+        } else {
+            ALPHA * secs_per_unit + (1.0 - ALPHA) * s.mean_secs
+        };
+        s.samples += 1;
+    }
+
+    /// Current per-member-step estimate, or `None` before warm-up.
+    pub fn per_unit(&self, tier: Tier) -> Option<f64> {
+        let s = self.tiers.lock()[tier.index()];
+        (s.samples >= WARM_SAMPLES).then_some(s.mean_secs)
+    }
+
+    /// Estimated wall time for `units` sequential member-steps, or `None`
+    /// before warm-up.
+    pub fn estimate(&self, tier: Tier, units: u64) -> Option<Duration> {
+        self.per_unit(tier).map(|per| Duration::from_secs_f64(per * units as f64))
+    }
+
+    /// Samples observed for a tier (diagnostics / report surface).
+    pub fn samples(&self, tier: Tier) -> u64 {
+        self.tiers.lock()[tier.index()].samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_estimator_answers_none() {
+        let e = ServiceEstimator::new();
+        assert!(e.per_unit(Tier::Fast).is_none());
+        e.observe(Tier::Fast, 0.01);
+        e.observe(Tier::Fast, 0.01);
+        assert!(e.per_unit(Tier::Fast).is_none(), "below warm-up threshold");
+        e.observe(Tier::Fast, 0.01);
+        assert!(e.per_unit(Tier::Fast).is_some());
+        assert!(e.per_unit(Tier::Quality).is_none(), "tiers are independent");
+    }
+
+    #[test]
+    fn ewma_tracks_and_estimate_scales() {
+        let e = ServiceEstimator::new();
+        for _ in 0..20 {
+            e.observe(Tier::Quality, 0.05);
+        }
+        let per = e.per_unit(Tier::Quality).unwrap();
+        assert!((per - 0.05).abs() < 1e-9);
+        let est = e.estimate(Tier::Quality, 10).unwrap();
+        assert!((est.as_secs_f64() - 0.5).abs() < 1e-6);
+        // A regime change pulls the mean toward the new level.
+        for _ in 0..20 {
+            e.observe(Tier::Quality, 0.2);
+        }
+        assert!(e.per_unit(Tier::Quality).unwrap() > 0.15);
+    }
+
+    #[test]
+    fn garbage_samples_are_ignored() {
+        let e = ServiceEstimator::new();
+        e.observe(Tier::Fast, f64::NAN);
+        e.observe(Tier::Fast, -1.0);
+        assert_eq!(e.samples(Tier::Fast), 0);
+    }
+}

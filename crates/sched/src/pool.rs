@@ -1,0 +1,87 @@
+//! Multi-replica model pools.
+//!
+//! A tier's model is immutable at serve time, but a single shared instance
+//! can still be a memory-locality bottleneck when many workers hammer it.
+//! The pool holds N interchangeable replicas and pins each worker to one,
+//! round-robin — no locking on the hot path, and a worker's replica never
+//! changes mid-run.
+//!
+//! **Determinism contract:** replicas must be bitwise-identical copies
+//! (built via the engine's `replicate()` helpers, which snapshot/restore
+//! the parameter store). The pool only *distributes* them; the engine's
+//! bitwise tests prove that which replica served a request is unobservable
+//! in the output.
+
+use std::sync::Arc;
+
+/// N interchangeable replicas of an immutable model.
+pub struct ReplicaPool<M> {
+    replicas: Vec<Arc<M>>,
+}
+
+impl<M> ReplicaPool<M> {
+    /// Pool over owned replicas. Panics on an empty vec — a tier with no
+    /// model is a construction error, not a runtime state.
+    pub fn new(replicas: Vec<M>) -> Self {
+        Self::from_shared(replicas.into_iter().map(Arc::new).collect())
+    }
+
+    /// Pool over already-shared replicas (e.g. the primary plus copies).
+    pub fn from_shared(replicas: Vec<Arc<M>>) -> Self {
+        assert!(!replicas.is_empty(), "a replica pool needs at least one replica");
+        ReplicaPool { replicas }
+    }
+
+    /// Single-replica pool around an existing shared model.
+    pub fn solo(model: Arc<M>) -> Self {
+        Self::from_shared(vec![model])
+    }
+
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The replica worker `worker` is pinned to (round-robin).
+    pub fn pinned(&self, worker: usize) -> Arc<M> {
+        Arc::clone(&self.replicas[worker % self.replicas.len()])
+    }
+
+    /// The canonical replica (index 0) — for validation and direct calls.
+    pub fn primary(&self) -> Arc<M> {
+        Arc::clone(&self.replicas[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_pinning_covers_all_replicas() {
+        let pool = ReplicaPool::new(vec![10u32, 20, 30]);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(*pool.pinned(0), 10);
+        assert_eq!(*pool.pinned(1), 20);
+        assert_eq!(*pool.pinned(2), 30);
+        assert_eq!(*pool.pinned(3), 10, "wraps round-robin");
+        assert_eq!(*pool.primary(), 10);
+    }
+
+    #[test]
+    fn solo_pool_always_serves_the_same_instance() {
+        let m = Arc::new(7u32);
+        let pool = ReplicaPool::solo(Arc::clone(&m));
+        assert!(Arc::ptr_eq(&pool.pinned(0), &m));
+        assert!(Arc::ptr_eq(&pool.pinned(99), &m));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_pool_is_a_construction_error() {
+        let _ = ReplicaPool::<u32>::new(vec![]);
+    }
+}

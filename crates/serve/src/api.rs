@@ -8,6 +8,7 @@
 
 use aeris_assim::{GuidanceSchedule, ObservationSet};
 use aeris_core::EnsembleForecast;
+use aeris_sched::{QuotaConfig, RouterConfig, Tier};
 use aeris_tensor::Tensor;
 use std::sync::Arc;
 use std::time::Duration;
@@ -97,6 +98,15 @@ pub struct ForecastRequest {
     /// kinds count toward `ServeReport::shed`. Requests answered entirely
     /// from cache never expire (they cost no model evaluations).
     pub deadline: Option<Duration>,
+    /// Tenant this request bills to (quota bucket + fair-queueing weight).
+    /// `None` uses the shared `"public"` tenant.
+    pub tenant: Option<Arc<str>>,
+    /// Explicit serving tier. `None` lets the router choose: quality unless
+    /// the deadline slack is too small for the full sampler (measured
+    /// service time), in which case the distilled fast tier. Explicitly
+    /// requesting [`Tier::Fast`] on an engine without a student is a
+    /// [`ServeError::BadRequest`].
+    pub tier: Option<Tier>,
 }
 
 /// A nowcast (assimilation) request: one client asking for an analysis
@@ -130,6 +140,13 @@ pub struct NowcastRequest {
     /// Optional latency budget (same shedding semantics as
     /// [`ForecastRequest::deadline`]).
     pub deadline: Option<Duration>,
+    /// Tenant this request bills to (see [`ForecastRequest::tenant`]).
+    pub tenant: Option<Arc<str>>,
+    /// Explicit serving tier (see [`ForecastRequest::tier`]). A fast-tier
+    /// nowcast replaces in-sampler guidance with one post-hoc bounded
+    /// relaxation toward the observations
+    /// (`aeris_assim::nowcast_member_fast`).
+    pub tier: Option<Tier>,
 }
 
 /// The served ensemble plus per-request accounting.
@@ -148,6 +165,12 @@ pub struct ForecastResponse {
     pub computed_steps: usize,
     /// Submission-to-completion latency.
     pub latency: Duration,
+    /// Result provenance: which serving tier produced this response. A
+    /// [`Tier::Quality`] response is bitwise identical to a direct ensemble
+    /// call; a [`Tier::Fast`] one came from the distilled one-step student
+    /// (bitwise reproducible, but a different — cheaper — distribution; see
+    /// `aeris_evaluation::distillation_gap` for the quantified difference).
+    pub tier: Tier,
 }
 
 /// Typed serving failure. Every submitted request either completes or
@@ -162,6 +185,14 @@ pub enum ServeError {
     DeadlineExceeded { req: u64 },
     /// The engine is draining or stopped and no longer accepts requests.
     Shutdown,
+    /// A bounded [`Ticket::wait_for`] ran out of patience. The request is
+    /// NOT resolved — it keeps running, and the ticket can be waited again.
+    ///
+    /// [`Ticket::wait_for`]: crate::engine::Ticket::wait_for
+    WaitTimeout { req: u64 },
+    /// Admission control refused the request: the tenant's token bucket has
+    /// too few tokens for the request's work (member-steps).
+    QuotaExceeded { tenant: String },
     /// The request is malformed for the engine's model (shape mismatch,
     /// zero members/steps, forcing table too short, …).
     BadRequest(String),
@@ -177,6 +208,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "request {req}: deadline exceeded, work shed")
             }
             ServeError::Shutdown => write!(f, "engine is shut down"),
+            ServeError::WaitTimeout { req } => {
+                write!(f, "request {req}: wait timed out (request still in flight)")
+            }
+            ServeError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant}: quota exceeded, request refused")
+            }
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
         }
     }
@@ -185,10 +222,16 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Engine sizing and policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Worker threads evaluating batched forecast steps.
+    /// Worker threads evaluating batched quality-tier forecast steps.
     pub workers: usize,
+    /// Worker threads on the fast (distilled) tier. Only used by engines
+    /// started with a student; ignored otherwise.
+    pub fast_workers: usize,
+    /// Bitwise-identical model replicas per tier pool (workers are pinned
+    /// round-robin). 1 shares a single instance, the pre-replica behavior.
+    pub replicas: usize,
     /// Admission-control bound on outstanding (admitted, unfinished)
     /// requests; submissions beyond it fail fast with
     /// [`ServeError::QueueFull`].
@@ -201,16 +244,25 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Rollout-cache byte budget (0 disables caching).
     pub cache_bytes: usize,
+    /// Tier-routing policy (deadline-slack floor + safety factor).
+    pub router: RouterConfig,
+    /// Per-tenant admission quotas and fair-queueing weights. `None`
+    /// disables quotas (every tenant unlimited, weight 1).
+    pub quota: Option<QuotaConfig>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 2,
+            fast_workers: 2,
+            replicas: 1,
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             cache_bytes: 64 << 20,
+            router: RouterConfig::default(),
+            quota: None,
         }
     }
 }
@@ -252,6 +304,8 @@ mod tests {
         let e = ServeError::QueueFull { capacity: 4 };
         assert!(e.to_string().contains("4"));
         assert!(ServeError::DeadlineExceeded { req: 9 }.to_string().contains("9"));
+        assert!(ServeError::WaitTimeout { req: 7 }.to_string().contains("7"));
+        assert!(ServeError::QuotaExceeded { tenant: "acme".into() }.to_string().contains("acme"));
         assert!(ServeError::BadRequest("x".into()).to_string().contains("x"));
     }
 }

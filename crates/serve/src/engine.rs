@@ -1,55 +1,80 @@
-//! The serving engine: admission control, worker pool, request lifecycle,
-//! and the ops surface.
+//! The serving engine: admission control, two-tier scheduling, worker
+//! pools, request lifecycle, and the ops surface.
 //!
 //! ## Lifecycle of a request
 //!
-//! 1. **Admission** ([`ServeEngine::submit`]): the request is validated
-//!    against the engine's model config, then admitted iff fewer than
-//!    `queue_capacity` requests are outstanding (else
-//!    [`ServeError::QueueFull`] — fail fast, never queue unboundedly).
-//! 2. **Prefix reuse**: each ensemble member consults the rollout cache for
+//! 1. **Quota** ([`ServeEngine::submit`]): if the engine has per-tenant
+//!    quotas, the tenant's token bucket must cover the request's work
+//!    (member-steps), else [`ServeError::QuotaExceeded`] — the one check a
+//!    tenant cannot scheduling-game its way around.
+//! 2. **Admission**: the request is validated against the engine's model
+//!    config, then admitted iff fewer than `queue_capacity` requests are
+//!    outstanding (else [`ServeError::QueueFull`] — fail fast, never queue
+//!    unboundedly).
+//! 3. **Routing**: the [`TierRouter`] classifies the request onto the
+//!    **quality** tier (full sampler) or the **fast** tier (distilled
+//!    one-step student), explicitly or from deadline slack against the
+//!    measured quality-tier service time. Engines without a student serve
+//!    everything on quality.
+//! 4. **Prefix reuse**: each ensemble member consults the rollout cache for
 //!    the longest contiguous prefix of its trajectory (state + RNG snapshot
 //!    per step). Fully-cached members complete at admission without touching
-//!    the worker pool.
-//! 3. **Batched stepping**: remaining members become member-step tasks in
-//!    the micro-batcher's pool; workers coalesce shape-compatible tasks —
-//!    across requests and tenants — into one [`forecast_step_batch`]
-//!    evaluation per round, then requeue or finish each member.
-//! 4. **Completion**: the last finishing member resolves the client's
-//!    [`Ticket`]; per-request latency and cache accounting ride along.
+//!    a worker pool. Fast- and quality-tier entries live in disjoint
+//!    content-addressed namespaces (the tier is folded into the cache key's
+//!    aux word) because they are *different numbers*.
+//! 5. **Dispatch**: remaining members become member-step tasks in the
+//!    tier's [`DispatchQueue`] — earliest-deadline-first for deadlined
+//!    work, weighted fair queueing per tenant for the rest. Workers coalesce
+//!    shape-compatible tasks in priority order into one batched model
+//!    evaluation per round, feed the per-tier [`ServiceEstimator`] with the
+//!    measured cost, shed tasks whose estimated completion already overruns
+//!    their deadline, then requeue or finish each member.
+//! 6. **Completion**: the last finishing member resolves the client's
+//!    [`Ticket`]; per-request latency, tier provenance, and cache
+//!    accounting ride along.
 //!
 //! ## Determinism
 //!
 //! Member `m` of a request draws from the private stream
 //! `Rng::seed_from(seed).stream(m+1)` — the same discipline as
 //! [`Forecaster::ensemble`] — and a batched step evaluates each task with
-//! its own RNG. Served responses are therefore bitwise identical to a
-//! direct `ensemble` call and invariant under worker count, batch
-//! composition, scheduling order, and cache hits.
+//! its own RNG. Quality-tier responses are therefore bitwise identical to a
+//! direct `ensemble` call, fast-tier responses to a direct
+//! `ConsistencyStudent::ensemble` call, both invariant under worker count,
+//! replica count, batch composition, scheduling order, and cache hits. The
+//! scheduler moves *time*, never *numbers*.
 //!
-//! [`forecast_step_batch`]: aeris_core::Forecaster::forecast_step_batch
 //! [`Forecaster::ensemble`]: aeris_core::Forecaster::ensemble
 
 use crate::api::{
     fnv_init, fnv_u64, ForecastRequest, ForecastResponse, Forcings, NowcastRequest, ServeConfig,
     ServeError,
 };
-use crate::batcher::TaskQueue;
 use crate::cache::{content_hash, CacheKey, CacheStats, RolloutCache};
-use aeris_assim::{GuidanceSchedule, ObsGuidance, ObservationSet};
-use aeris_core::{EnsembleForecast, Forecaster, GuidedStepJob};
+use aeris_assim::{relax_toward_observations, GuidanceSchedule, ObsGuidance, ObservationSet};
+use aeris_core::{ConsistencyStudent, EnsembleForecast, Forecaster, GuidedStepJob, StepJob};
 use aeris_diffusion::Guidance;
 use aeris_obs::{MetricSeries, SpanCategory, Tracer};
+use aeris_sched::{
+    DispatchQueue, QuotaTable, ReplicaPool, ServiceEstimator, TaskMeta, Tier, TierRouter,
+};
 use aeris_swipe::{EventLog, EventRecord};
 use aeris_tensor::{Rng, Tensor};
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Actor id used for events recorded on the submitting client's thread
-/// (workers use their pool index).
+/// (workers use their pool index; fast-tier workers follow the quality
+/// workers' indices).
 pub const CLIENT_ACTOR: usize = usize::MAX;
+
+/// Folded into a fast-tier request's cache-key aux word: the student's
+/// trajectories are different numbers from the sampler's, so the two tiers
+/// must never alias cache entries.
+const FAST_AUX: u64 = 0xFA57_7153_AE51_0001;
 
 /// One serving-related occurrence, recorded through the reusable
 /// [`EventLog`] shared with the SWiPe runtime.
@@ -60,16 +85,22 @@ pub enum ServeEvent {
     /// A nowcast (assimilation) request passed validation and admission
     /// control; `n_obs` is the number of present observations it carries.
     AdmittedNowcast { req: u64, members: usize, n_obs: usize },
+    /// The router assigned an admitted request to a serving tier.
+    Routed { req: u64, tier: Tier },
     /// Admission control refused a request (queue at capacity).
     RejectedQueueFull { capacity: usize },
+    /// Admission control refused a request (tenant token bucket empty).
+    RejectedQuota { tenant: String },
     /// A request arrived after shutdown began.
     RejectedShutdown,
     /// One batched model evaluation: `size` member-steps spanning
-    /// `requests` distinct requests.
-    BatchExecuted { size: usize, requests: usize },
+    /// `requests` distinct requests, on `tier`.
+    BatchExecuted { size: usize, requests: usize, tier: Tier },
     /// A member reused a cached rollout prefix of `steps` steps.
     PrefixReused { req: u64, member: usize, steps: usize },
-    /// A request was dequeued past its deadline; its work was shed.
+    /// A request was shed for deadline reasons: its budget expired, or the
+    /// service-time estimator projected its remaining chain past the
+    /// deadline at dispatch.
     DeadlineExceeded { req: u64 },
     /// A request completed successfully.
     Completed { req: u64, latency_ms: u64, cache_hits: usize, computed_steps: usize },
@@ -83,15 +114,19 @@ pub enum ServeEvent {
 /// counters — one exporter path for trainer, server, and benches.
 #[derive(Clone, Default)]
 pub struct ServeMetrics {
-    /// Per-request submission-to-completion latency for forecast requests,
-    /// milliseconds.
+    /// Per-request submission-to-completion latency for quality-tier
+    /// forecast requests, milliseconds.
     pub latency_ms: MetricSeries,
-    /// Per-request submission-to-completion latency for nowcast
-    /// (assimilation) requests, milliseconds — the two traffic shapes have
-    /// very different profiles (long rollouts vs one guided step under tight
-    /// deadlines), so they get separate series.
+    /// Per-request submission-to-completion latency for quality-tier
+    /// nowcast (assimilation) requests, milliseconds — the two traffic
+    /// shapes have very different profiles (long rollouts vs one guided step
+    /// under tight deadlines), so they get separate series.
     pub nowcast_latency_ms: MetricSeries,
-    /// Member-steps per executed batch.
+    /// Fast-tier forecast latency, milliseconds.
+    pub fast_latency_ms: MetricSeries,
+    /// Fast-tier nowcast latency, milliseconds.
+    pub fast_nowcast_latency_ms: MetricSeries,
+    /// Member-steps per executed batch (both tiers).
     pub batch_size: MetricSeries,
     /// Pending member-steps observed by workers after forming each batch.
     pub queue_depth: MetricSeries,
@@ -103,8 +138,20 @@ impl ServeMetrics {
         ServeMetrics {
             latency_ms: tracer.series("serve_latency_ms"),
             nowcast_latency_ms: tracer.series("serve_nowcast_latency_ms"),
+            fast_latency_ms: tracer.series("serve_fast_latency_ms"),
+            fast_nowcast_latency_ms: tracer.series("serve_fast_nowcast_latency_ms"),
             batch_size: tracer.series("serve_batch_size"),
             queue_depth: tracer.series("serve_queue_depth"),
+        }
+    }
+
+    /// The request-latency series for one (tier, is-nowcast) traffic class.
+    fn latency_series(&self, tier: Tier, nowcast: bool) -> &MetricSeries {
+        match (tier, nowcast) {
+            (Tier::Quality, false) => &self.latency_ms,
+            (Tier::Quality, true) => &self.nowcast_latency_ms,
+            (Tier::Fast, false) => &self.fast_latency_ms,
+            (Tier::Fast, true) => &self.fast_nowcast_latency_ms,
         }
     }
 }
@@ -126,14 +173,15 @@ struct DoneState {
 }
 
 /// The assimilation payload of a nowcast request: what turns a member-step
-/// into a *guided* member-step.
+/// into a *guided* member-step (quality tier) or adds the post-hoc
+/// relaxation (fast tier).
 pub(crate) struct NowcastSpec {
     pub obs: Arc<ObservationSet>,
     pub schedule: GuidanceSchedule,
 }
 
-/// Shared per-request state: identity, cache addressing, and the slot the
-/// client's [`Ticket`] blocks on.
+/// Shared per-request state: identity, scheduling class, cache addressing,
+/// and the slot the client's [`Ticket`] blocks on.
 pub(crate) struct RequestState {
     pub id: u64,
     pub init: Arc<Tensor>,
@@ -143,11 +191,17 @@ pub(crate) struct RequestState {
     pub steps: usize,
     pub n_members: usize,
     pub seed: u64,
+    /// The tier this request was routed to.
+    pub tier: Tier,
+    /// The tenant it bills to.
+    pub tenant: Arc<str>,
     /// `Some` for nowcasts: the observations + guidance schedule.
     pub nowcast: Option<NowcastSpec>,
     /// Cache-key auxiliary component (see [`CacheKey::aux`]): 0 for
-    /// forecasts and off-schedule nowcasts (bitwise-equal trajectories, so
-    /// they *should* share entries), else the obs ⊕ schedule digest.
+    /// quality forecasts and off-schedule quality nowcasts (bitwise-equal
+    /// trajectories, so they *should* share entries), the obs ⊕ schedule
+    /// digest for guided nowcasts, with [`FAST_AUX`] folded in on the fast
+    /// tier (different numbers, disjoint namespace).
     pub aux: u64,
     pub submitted: Instant,
     pub deadline: Option<Instant>,
@@ -156,6 +210,7 @@ pub(crate) struct RequestState {
 }
 
 impl RequestState {
+    #[allow(clippy::too_many_arguments)]
     fn with_core(
         id: u64,
         init: Tensor,
@@ -164,6 +219,8 @@ impl RequestState {
         n_members: usize,
         seed: u64,
         deadline: Option<Duration>,
+        tier: Tier,
+        tenant: Arc<str>,
     ) -> Self {
         let submitted = Instant::now();
         RequestState {
@@ -175,6 +232,8 @@ impl RequestState {
             steps,
             n_members,
             seed,
+            tier,
+            tenant,
             nowcast: None,
             aux: 0,
             submitted,
@@ -191,8 +250,19 @@ impl RequestState {
         }
     }
 
-    fn new(id: u64, req: &ForecastRequest) -> Self {
-        RequestState::with_core(
+    /// Namespace the cache key by tier: fast-tier trajectories are different
+    /// numbers from quality ones and must never alias.
+    fn apply_tier_aux(&mut self) {
+        if self.tier == Tier::Fast {
+            let mut h = fnv_init();
+            fnv_u64(&mut h, self.aux);
+            fnv_u64(&mut h, FAST_AUX);
+            self.aux = h;
+        }
+    }
+
+    fn new(id: u64, req: &ForecastRequest, tier: Tier, tenant: Arc<str>) -> Self {
+        let mut state = RequestState::with_core(
             id,
             req.init.clone(),
             req.forcings.clone(),
@@ -200,10 +270,14 @@ impl RequestState {
             req.n_members,
             req.seed,
             req.deadline,
-        )
+            tier,
+            tenant,
+        );
+        state.apply_tier_aux();
+        state
     }
 
-    fn new_nowcast(id: u64, req: &NowcastRequest) -> Self {
+    fn new_nowcast(id: u64, req: &NowcastRequest, tier: Tier, tenant: Arc<str>) -> Self {
         let mut state = RequestState::with_core(
             id,
             req.background.clone(),
@@ -212,16 +286,19 @@ impl RequestState {
             req.n_members,
             req.seed,
             req.deadline,
+            tier,
+            tenant,
         );
-        // An off schedule is a bitwise 1-step forecast, so it keeps aux = 0
-        // and shares cache entries with one; active guidance gets its own
-        // content-addressed namespace.
+        // An off schedule is a bitwise 1-step forecast (on either tier), so
+        // it keeps the plain aux and shares cache entries with one; active
+        // guidance gets its own content-addressed namespace.
         if !req.schedule.is_off() {
             let mut h = fnv_init();
             fnv_u64(&mut h, req.observations.digest());
             fnv_u64(&mut h, req.schedule.digest());
             state.aux = h;
         }
+        state.apply_tier_aux();
         state.nowcast = Some(NowcastSpec {
             obs: Arc::clone(&req.observations),
             schedule: req.schedule,
@@ -235,7 +312,7 @@ impl RequestState {
     }
 }
 
-/// One in-flight ensemble member: the unit the micro-batcher schedules.
+/// One in-flight ensemble member: the unit the dispatch queue schedules.
 pub(crate) struct MemberTask {
     pub req: Arc<RequestState>,
     pub member: usize,
@@ -260,13 +337,13 @@ impl Ticket {
         self.req.id
     }
 
-    /// Block until the request resolves, then assemble the response.
-    pub fn wait(&self) -> Result<ForecastResponse, ServeError> {
-        let mut done = self.req.done.lock();
-        while done.result.is_none() {
-            self.req.done_cv.wait(&mut done);
-        }
-        match done.result.clone().expect("loop exits only on terminal state") {
+    /// The tier the request was routed to.
+    pub fn tier(&self) -> Tier {
+        self.req.tier
+    }
+
+    fn assemble(&self, done: &DoneState) -> Result<ForecastResponse, ServeError> {
+        match done.result.clone().expect("caller checked terminal state") {
             Err(e) => Err(e),
             Ok(()) => {
                 let members: Vec<Vec<Tensor>> = done
@@ -286,17 +363,61 @@ impl Ticket {
                     cache_hits: done.cache_hits,
                     computed_steps: done.computed_steps,
                     latency: done.latency,
+                    tier: self.req.tier,
                 })
             }
         }
     }
+
+    /// Block until the request resolves, then assemble the response.
+    pub fn wait(&self) -> Result<ForecastResponse, ServeError> {
+        let mut done = self.req.done.lock();
+        while done.result.is_none() {
+            self.req.done_cv.wait(&mut done);
+        }
+        self.assemble(&done)
+    }
+
+    /// Bounded [`Ticket::wait`]: block at most `timeout` for the result.
+    /// On timeout returns [`ServeError::WaitTimeout`] — the request is NOT
+    /// cancelled; it keeps running, and the ticket can be waited again (a
+    /// later `wait`/`wait_for` can still succeed).
+    pub fn wait_for(&self, timeout: Duration) -> Result<ForecastResponse, ServeError> {
+        let give_up = Instant::now() + timeout;
+        let mut done = self.req.done.lock();
+        while done.result.is_none() {
+            let now = Instant::now();
+            if now >= give_up {
+                return Err(ServeError::WaitTimeout { req: self.req.id });
+            }
+            // The condvar can wake spuriously or on another request's
+            // completion broadcast; recompute the remaining budget each
+            // pass so the total bound stays `timeout`.
+            let _ = self.req.done_cv.wait_for(&mut done, give_up - now);
+        }
+        self.assemble(&done)
+    }
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    completed: u64,
+    shed: u64,
+    quota_denied: u64,
 }
 
 /// Everything the workers and the submitting threads share.
 struct EngineShared {
     forecaster: Arc<Forecaster>,
+    quality: ReplicaPool<Forecaster>,
+    fast: Option<ReplicaPool<ConsistencyStudent>>,
+    /// One dispatch queue per tier, indexed by [`Tier::index`].
+    queues: [DispatchQueue<MemberTask>; 2],
+    router: TierRouter,
+    estimator: ServiceEstimator,
+    quotas: Option<QuotaTable>,
+    default_tenant: Arc<str>,
     cfg: ServeConfig,
-    queue: TaskQueue,
     cache: RolloutCache,
     events: EventLog<ServeEvent>,
     metrics: ServeMetrics,
@@ -308,6 +429,11 @@ struct EngineShared {
     completed: AtomicU64,
     nowcasts: AtomicU64,
     shed: AtomicU64,
+    quota_denied: AtomicU64,
+    tier_completed: [AtomicU64; 2],
+    tier_shed: [AtomicU64; 2],
+    tier_nowcasts: [AtomicU64; 2],
+    tenants: Mutex<HashMap<Arc<str>, TenantCounters>>,
 }
 
 impl EngineShared {
@@ -317,6 +443,34 @@ impl EngineShared {
         if *g == 0 {
             self.drained.notify_all();
         }
+    }
+
+    fn tenant_weight(&self, tenant: &str) -> f64 {
+        self.quotas.as_ref().map_or(1.0, |q| q.weight(tenant))
+    }
+
+    /// Scheduling metadata for a member task: the deadline (EDF class), the
+    /// tenant + WFQ weight, the member's *remaining* chain length as cost,
+    /// and the state shape as the batch-compatibility key.
+    fn task_meta(&self, task: &MemberTask) -> TaskMeta {
+        let req = &task.req;
+        let shape = task.x.shape();
+        let mut sh = fnv_init();
+        for &d in shape {
+            fnv_u64(&mut sh, d as u64);
+        }
+        TaskMeta {
+            deadline: req.deadline,
+            tenant: Arc::clone(&req.tenant),
+            weight: self.tenant_weight(&req.tenant),
+            cost: (req.steps - task.next_step) as f64,
+            shape: sh,
+        }
+    }
+
+    fn bump_tenant(&self, tenant: &Arc<str>, f: impl FnOnce(&mut TenantCounters)) {
+        let mut tenants = self.tenants.lock();
+        f(tenants.entry(Arc::clone(tenant)).or_default());
     }
 
     /// Resolve a request as failed (first terminal transition wins).
@@ -332,6 +486,8 @@ impl EngineShared {
         }
         if let ServeError::DeadlineExceeded { req: id } = err {
             self.shed.fetch_add(1, Ordering::Relaxed);
+            self.tier_shed[req.tier.index()].fetch_add(1, Ordering::Relaxed);
+            self.bump_tenant(&req.tenant, |t| t.shed += 1);
             self.events.record(actor, ServeEvent::DeadlineExceeded { req: id });
         }
         self.release_outstanding();
@@ -361,12 +517,15 @@ impl EngineShared {
         };
         if let Some((latency, cache_hits, computed_steps)) = finished {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.tier_completed[req.tier.index()].fetch_add(1, Ordering::Relaxed);
+            self.bump_tenant(&req.tenant, |t| t.completed += 1);
             if req.nowcast.is_some() {
                 self.nowcasts.fetch_add(1, Ordering::Relaxed);
-                self.metrics.nowcast_latency_ms.record(latency.as_secs_f64() * 1e3);
-            } else {
-                self.metrics.latency_ms.record(latency.as_secs_f64() * 1e3);
+                self.tier_nowcasts[req.tier.index()].fetch_add(1, Ordering::Relaxed);
             }
+            self.metrics
+                .latency_series(req.tier, req.nowcast.is_some())
+                .record(latency.as_secs_f64() * 1e3);
             self.events.record(
                 actor,
                 ServeEvent::Completed {
@@ -390,34 +549,68 @@ impl EngineShared {
             aux: req.aux,
         }
     }
+
+    fn total_queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.depth()).sum()
+    }
 }
 
-fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
-    let fc = Arc::clone(&shared.forecaster);
-    let tokens = fc.model.cfg.tokens();
+/// The model a worker evaluates batches on: its pinned replica of the
+/// tier's pool.
+enum WorkerModel {
+    Quality(Arc<Forecaster>),
+    Fast(Arc<ConsistencyStudent>),
+}
+
+fn worker_loop(shared: Arc<EngineShared>, tier: Tier, slot: usize, actor: usize) {
+    let model = match tier {
+        Tier::Quality => WorkerModel::Quality(shared.quality.pinned(slot)),
+        Tier::Fast => WorkerModel::Fast(
+            shared.fast.as_ref().expect("fast worker without a fast pool").pinned(slot),
+        ),
+    };
+    let tokens = shared.forecaster.model.cfg.tokens();
+    let queue = &shared.queues[tier.index()];
     loop {
         // The assembly span covers the blocking wait for work: its duration
-        // is the micro-batcher's gather window plus any idle time, which is
+        // is the dispatcher's gather window plus any idle time, which is
         // exactly the "why is the worker not forecasting" question.
         let batch = {
-            let _asm = shared.tracer.span(SpanCategory::BatchAssembly, worker);
-            match shared.queue.next_batch(shared.cfg.max_batch, shared.cfg.max_wait) {
+            let _asm =
+                shared.tracer.span(SpanCategory::BatchAssembly, actor).label(tier.name());
+            match queue.next_batch(shared.cfg.max_batch, shared.cfg.max_wait) {
                 Some(b) => b,
                 None => break,
             }
         };
-        shared.metrics.queue_depth.record(shared.queue.depth() as f64);
-        // Shed tasks of already-resolved requests and expire deadlines.
+        shared.metrics.queue_depth.record(shared.total_queue_depth() as f64);
+        // Shed tasks of already-resolved requests, expire deadlines, and —
+        // once the tier's service-time estimate is warm — shed *doomed*
+        // requests whose remaining chain is projected past the deadline:
+        // better to fail them now than to burn model evaluations on work
+        // that cannot arrive in time.
         let now = Instant::now();
+        let per_unit = shared.estimator.per_unit(tier);
         let mut live: Vec<MemberTask> = Vec::with_capacity(batch.len());
         for task in batch {
             if task.req.terminal() {
                 continue;
             }
-            if task.req.deadline.is_some_and(|dl| now >= dl) {
-                let id = task.req.id;
-                shared.fail_request(&task.req, ServeError::DeadlineExceeded { req: id }, worker);
-                continue;
+            if let Some(dl) = task.req.deadline {
+                let doomed = now >= dl
+                    || per_unit.is_some_and(|per| {
+                        let remaining = (task.req.steps - task.next_step) as f64;
+                        now + Duration::from_secs_f64(per * remaining) > dl
+                    });
+                if doomed {
+                    let id = task.req.id;
+                    shared.fail_request(
+                        &task.req,
+                        ServeError::DeadlineExceeded { req: id },
+                        actor,
+                    );
+                    continue;
+                }
             }
             live.push(task);
         }
@@ -428,50 +621,77 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
         let mut req_ids: Vec<u64> = live.iter().map(|t| t.req.id).collect();
         req_ids.sort_unstable();
         req_ids.dedup();
-        shared
-            .events
-            .record(worker, ServeEvent::BatchExecuted { size: live.len(), requests: req_ids.len() });
+        shared.events.record(
+            actor,
+            ServeEvent::BatchExecuted { size: live.len(), requests: req_ids.len(), tier },
+        );
 
         // One batched model evaluation for the whole (shape-compatible)
-        // batch; every job advances on its own private RNG. Nowcast tasks
-        // carry an owned per-job guidance hook (built from Arcs of the
-        // request's observations and the task's own background state), so
-        // guided and unguided member-steps mix freely in a batch.
+        // batch; every job advances on its own private RNG. On the quality
+        // tier, nowcast tasks carry an owned per-job guidance hook; on the
+        // fast tier the student has no solver iterations to guide, so
+        // nowcast outputs get one post-hoc bounded relaxation toward the
+        // observations instead.
         let forcings: Vec<Tensor> =
             live.iter().map(|t| t.req.forcings.at(tokens, t.next_step)).collect();
-        let mut guidances: Vec<Option<ObsGuidance>> = live
-            .iter()
-            .map(|t| {
-                t.req.nowcast.as_ref().map(|spec| {
-                    ObsGuidance::new(
-                        Arc::clone(&spec.obs),
-                        Arc::clone(&t.x),
-                        &fc.res_stats,
-                        spec.schedule,
-                        fc.sampler.cfg.n_steps,
-                    )
-                })
-            })
-            .collect();
-        let outs = {
-            let _fwd = shared
-                .tracer
-                .span(SpanCategory::Forward, worker)
-                .label("forecast_step_batch")
-                .micro(live.len() as u64);
-            let mut jobs: Vec<GuidedStepJob<'_>> = live
-                .iter_mut()
-                .zip(&forcings)
-                .zip(&mut guidances)
-                .map(|((t, f), g)| GuidedStepJob {
-                    x_prev: t.x.as_ref(),
-                    forcings: f,
-                    rng: &mut t.rng,
-                    guidance: g.as_mut().map(|og| og as &mut (dyn Guidance + Send)),
-                })
-                .collect();
-            fc.forecast_step_batch_guided(&mut jobs)
+        let t0 = Instant::now();
+        let outs = match &model {
+            WorkerModel::Quality(fc) => {
+                let mut guidances: Vec<Option<ObsGuidance>> = live
+                    .iter()
+                    .map(|t| {
+                        t.req.nowcast.as_ref().map(|spec| {
+                            ObsGuidance::new(
+                                Arc::clone(&spec.obs),
+                                Arc::clone(&t.x),
+                                &fc.res_stats,
+                                spec.schedule,
+                                fc.sampler.cfg.n_steps,
+                            )
+                        })
+                    })
+                    .collect();
+                let _fwd = shared
+                    .tracer
+                    .span(SpanCategory::Forward, actor)
+                    .label("forecast_step_batch")
+                    .micro(live.len() as u64);
+                let mut jobs: Vec<GuidedStepJob<'_>> = live
+                    .iter_mut()
+                    .zip(&forcings)
+                    .zip(&mut guidances)
+                    .map(|((t, f), g)| GuidedStepJob {
+                        x_prev: t.x.as_ref(),
+                        forcings: f,
+                        rng: &mut t.rng,
+                        guidance: g.as_mut().map(|og| og as &mut (dyn Guidance + Send)),
+                    })
+                    .collect();
+                fc.forecast_step_batch_guided(&mut jobs)
+            }
+            WorkerModel::Fast(student) => {
+                let _fwd = shared
+                    .tracer
+                    .span(SpanCategory::Forward, actor)
+                    .label("fast_step_batch")
+                    .micro(live.len() as u64);
+                let mut jobs: Vec<StepJob<'_>> = live
+                    .iter_mut()
+                    .zip(&forcings)
+                    .map(|(t, f)| StepJob { x_prev: t.x.as_ref(), forcings: f, rng: &mut t.rng })
+                    .collect();
+                let mut outs = student.forecast_step_batch(&mut jobs);
+                for (task, out) in live.iter().zip(outs.iter_mut()) {
+                    if let Some(spec) = &task.req.nowcast {
+                        relax_toward_observations(out, &spec.obs, spec.schedule.weight(0, 1));
+                    }
+                }
+                outs
+            }
         };
+        // Feed the router's and the doom check's service model with the
+        // amortized (batching included) cost of one member-step as served.
+        shared.estimator.observe(tier, t0.elapsed().as_secs_f64() / live.len() as f64);
         for (mut task, next) in live.into_iter().zip(outs) {
             let next = Arc::new(next);
             task.next_step += 1;
@@ -483,12 +703,35 @@ fn worker_loop(shared: Arc<EngineShared>, worker: usize) {
             task.states.push(Arc::clone(&next));
             task.x = next;
             if task.next_step == task.req.steps {
-                shared.finish_member(task, worker);
+                shared.finish_member(task, actor);
             } else {
-                shared.queue.push(task);
+                let meta = shared.task_meta(&task);
+                queue.push(task, meta);
             }
         }
     }
+}
+
+/// Per-tier slice of the final report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    /// Requests this tier served to completion.
+    pub completed: u64,
+    /// Requests shed on this tier for deadline reasons.
+    pub shed: u64,
+    /// Of the completed, nowcast requests.
+    pub nowcasts: u64,
+}
+
+/// Per-tenant slice of the final report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounts {
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Requests shed for deadline reasons.
+    pub shed: u64,
+    /// Requests refused at admission by the tenant's token bucket.
+    pub quota_denied: u64,
 }
 
 /// Post-shutdown report: everything the engine observed while serving.
@@ -498,8 +741,15 @@ pub struct ServeReport {
     /// Of those, nowcast (assimilation) requests.
     pub nowcasts: u64,
     /// Requests shed for deadline reasons — at admission (budget already
-    /// unmeetable) or at dequeue (expired while queued).
+    /// unmeetable), at dispatch (expired or projected past the deadline
+    /// while queued), in total.
     pub shed: u64,
+    /// Requests refused by per-tenant token buckets.
+    pub quota_denied: u64,
+    /// Per-tier counters, indexed by [`Tier::index`].
+    pub tiers: [TierCounts; 2],
+    /// Per-tenant counters, sorted by tenant name.
+    pub tenants: Vec<(String, TenantCounts)>,
     /// The full serving event log.
     pub events: Vec<EventRecord<ServeEvent>>,
     /// Latency / batch-size / queue-depth series.
@@ -508,20 +758,37 @@ pub struct ServeReport {
     pub cache: CacheStats,
 }
 
-/// The batched, multi-tenant forecast serving engine.
+impl ServeReport {
+    /// The per-tier counters for `tier`.
+    pub fn tier(&self, tier: Tier) -> &TierCounts {
+        &self.tiers[tier.index()]
+    }
+
+    /// The counters for a tenant (zeros if it never appeared).
+    pub fn tenant(&self, name: &str) -> TenantCounts {
+        self.tenants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+}
+
+/// The batched, multi-tenant, two-tier forecast serving engine.
 pub struct ServeEngine {
     shared: Arc<EngineShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServeEngine {
-    /// Spin up the worker pool around a shared forecaster (tracing disabled;
-    /// span sites cost one atomic load).
+    /// Spin up a quality-only engine around a shared forecaster (tracing
+    /// disabled; span sites cost one atomic load). Every request serves on
+    /// the full sampler.
     pub fn start(forecaster: Arc<Forecaster>, cfg: ServeConfig) -> ServeEngine {
         ServeEngine::start_traced(forecaster, cfg, Tracer::default())
     }
 
-    /// Spin up the worker pool sharing an externally owned [`Tracer`]:
+    /// [`ServeEngine::start`] sharing an externally owned [`Tracer`]:
     /// admission, cache lookups, batch assembly, and batched model steps emit
     /// spans (request id in the `step` tag, member in `micro`); cache
     /// hit/miss counters and the [`ServeMetrics`] series export through the
@@ -531,10 +798,65 @@ impl ServeEngine {
         cfg: ServeConfig,
         tracer: Tracer,
     ) -> ServeEngine {
+        ServeEngine::launch(forecaster, None, cfg, tracer)
+    }
+
+    /// Spin up a **two-tier** engine: the full-sampler quality tier plus a
+    /// distilled fast tier around `student`. Requests route by explicit
+    /// tier or deadline slack (see [`crate::api::ForecastRequest::tier`]).
+    ///
+    /// Panics if the student's grid does not match the forecaster's — a
+    /// construction error, not a runtime state.
+    pub fn start_two_tier(
+        forecaster: Arc<Forecaster>,
+        student: Arc<ConsistencyStudent>,
+        cfg: ServeConfig,
+    ) -> ServeEngine {
+        ServeEngine::start_two_tier_traced(forecaster, student, cfg, Tracer::default())
+    }
+
+    /// [`ServeEngine::start_two_tier`] with an externally owned [`Tracer`].
+    pub fn start_two_tier_traced(
+        forecaster: Arc<Forecaster>,
+        student: Arc<ConsistencyStudent>,
+        cfg: ServeConfig,
+        tracer: Tracer,
+    ) -> ServeEngine {
+        assert_eq!(
+            (student.model.cfg.tokens(), student.model.cfg.channels),
+            (forecaster.model.cfg.tokens(), forecaster.model.cfg.channels),
+            "student grid must match the forecaster's"
+        );
+        ServeEngine::launch(forecaster, Some(student), cfg, tracer)
+    }
+
+    fn launch(
+        forecaster: Arc<Forecaster>,
+        student: Option<Arc<ConsistencyStudent>>,
+        cfg: ServeConfig,
+        tracer: Tracer,
+    ) -> ServeEngine {
+        let replicas = cfg.replicas.max(1);
+        let quality = {
+            let mut pool = vec![Arc::clone(&forecaster)];
+            pool.extend((1..replicas).map(|_| Arc::new(forecaster.replicate())));
+            ReplicaPool::from_shared(pool)
+        };
+        let fast = student.map(|s| {
+            let mut pool = vec![Arc::clone(&s)];
+            pool.extend((1..replicas).map(|_| Arc::new(s.replicate())));
+            ReplicaPool::from_shared(pool)
+        });
+        let n_quality = cfg.workers.max(1);
+        let n_fast = if fast.is_some() { cfg.fast_workers.max(1) } else { 0 };
         let shared = Arc::new(EngineShared {
-            forecaster,
-            cfg,
-            queue: TaskQueue::new(),
+            quality,
+            fast,
+            queues: [DispatchQueue::new(), DispatchQueue::new()],
+            router: TierRouter::new(cfg.router),
+            estimator: ServiceEstimator::new(),
+            quotas: cfg.quota.clone().map(QuotaTable::new),
+            default_tenant: Arc::from("public"),
             cache: RolloutCache::new(cfg.cache_bytes),
             events: EventLog::new(),
             metrics: ServeMetrics::registered(&tracer),
@@ -546,27 +868,101 @@ impl ServeEngine {
             completed: AtomicU64::new(0),
             nowcasts: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            quota_denied: AtomicU64::new(0),
+            tier_completed: [AtomicU64::new(0), AtomicU64::new(0)],
+            tier_shed: [AtomicU64::new(0), AtomicU64::new(0)],
+            tier_nowcasts: [AtomicU64::new(0), AtomicU64::new(0)],
+            tenants: Mutex::new(HashMap::new()),
+            forecaster,
+            cfg,
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|w| {
-                let shared = Arc::clone(&shared);
+        let mut workers = Vec::with_capacity(n_quality + n_fast);
+        for w in 0..n_quality {
+            let shared = Arc::clone(&shared);
+            workers.push(
                 std::thread::Builder::new()
-                    .name(format!("aeris-serve-{w}"))
-                    .spawn(move || worker_loop(shared, w))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+                    .name(format!("aeris-serve-q{w}"))
+                    .spawn(move || worker_loop(shared, Tier::Quality, w, w))
+                    .expect("spawn serve worker"),
+            );
+        }
+        for w in 0..n_fast {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("aeris-serve-f{w}"))
+                    .spawn(move || worker_loop(shared, Tier::Fast, w, n_quality + w))
+                    .expect("spawn serve worker"),
+            );
+        }
         ServeEngine { shared, workers }
     }
 
     /// The tracer the engine records through (disabled no-op tracer unless
-    /// started via [`ServeEngine::start_traced`]).
+    /// started via a `*_traced` constructor).
     pub fn tracer(&self) -> &Tracer {
         &self.shared.tracer
     }
 
-    /// Validate, admit, and enqueue a forecast request. Returns a [`Ticket`]
-    /// the client blocks on; every admission failure is a typed error.
+    /// Whether this engine has a distilled fast tier.
+    pub fn has_fast_tier(&self) -> bool {
+        self.shared.fast.is_some()
+    }
+
+    /// The per-tier service-time estimator (measured seconds per
+    /// member-step; `None` per tier until warm).
+    pub fn estimator(&self) -> &ServiceEstimator {
+        &self.shared.estimator
+    }
+
+    /// The tenant name a request bills to.
+    fn tenant_of(&self, explicit: &Option<Arc<str>>) -> Arc<str> {
+        explicit.clone().unwrap_or_else(|| Arc::clone(&self.shared.default_tenant))
+    }
+
+    /// Token-bucket admission for `cost` member-steps; a deny is recorded
+    /// and surfaced as [`ServeError::QuotaExceeded`].
+    fn check_quota(&self, tenant: &Arc<str>, cost: f64) -> Result<(), ServeError> {
+        let Some(quotas) = &self.shared.quotas else {
+            return Ok(());
+        };
+        if quotas.admit(tenant, cost).admitted() {
+            return Ok(());
+        }
+        self.shared.quota_denied.fetch_add(1, Ordering::Relaxed);
+        self.shared.bump_tenant(tenant, |t| t.quota_denied += 1);
+        self.shared
+            .events
+            .record(CLIENT_ACTOR, ServeEvent::RejectedQuota { tenant: tenant.to_string() });
+        Err(ServeError::QuotaExceeded { tenant: tenant.to_string() })
+    }
+
+    /// Route a request onto a tier; an explicit fast request on a
+    /// quality-only engine is a typed error.
+    fn route(
+        &self,
+        explicit: Option<Tier>,
+        deadline: Option<Duration>,
+        chain_units: u64,
+    ) -> Result<Tier, ServeError> {
+        let fast_available = self.shared.fast.is_some();
+        if explicit == Some(Tier::Fast) && !fast_available {
+            return Err(ServeError::BadRequest(
+                "fast tier requested but the engine has no distilled student".into(),
+            ));
+        }
+        Ok(self.shared.router.route(
+            explicit,
+            deadline,
+            chain_units,
+            fast_available,
+            &self.shared.estimator,
+        ))
+    }
+
+    /// Validate, admit, route, and enqueue a forecast request. Returns a
+    /// [`Ticket`] the client blocks on; every admission failure is a typed
+    /// error.
     pub fn submit(&self, request: ForecastRequest) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::Acquire) {
@@ -574,24 +970,29 @@ impl ServeEngine {
             return Err(ServeError::Shutdown);
         }
         self.validate(&request)?;
+        let tenant = self.tenant_of(&request.tenant);
+        self.check_quota(&tenant, (request.steps * request.n_members) as f64)?;
+        let tier = self.route(request.tier, request.deadline, request.steps as u64)?;
         let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
         let id = self.acquire_slot()?;
         let _adm = adm.step(id);
-        let req = Arc::new(RequestState::new(id, &request));
+        let req = Arc::new(RequestState::new(id, &request, tier, tenant));
         shared.events.record(
             CLIENT_ACTOR,
             ServeEvent::Admitted { req: id, members: request.n_members, steps: request.steps },
         );
+        shared.events.record(CLIENT_ACTOR, ServeEvent::Routed { req: id, tier });
         self.enqueue_members(req)
     }
 
-    /// Validate, admit, and enqueue a nowcast (assimilation) request. The
-    /// returned [`Ticket`] resolves to a 1-step [`ForecastResponse`] whose
-    /// `members[m][0]` is member `m`'s analysis state, bitwise identical to
-    /// `aeris_assim::nowcast_member` with the same inputs. Nowcast
-    /// member-steps run through the same micro-batcher as forecasts and the
-    /// rollout cache answers exact replays (keyed on the observation digest
-    /// and guidance schedule).
+    /// Validate, admit, route, and enqueue a nowcast (assimilation) request.
+    /// The returned [`Ticket`] resolves to a 1-step [`ForecastResponse`]
+    /// whose `members[m][0]` is member `m`'s analysis state — bitwise
+    /// identical to `aeris_assim::nowcast_member` (quality tier) or
+    /// `aeris_assim::nowcast_member_fast` (fast tier) with the same inputs.
+    /// Nowcast member-steps run through the same dispatch queues as
+    /// forecasts and the rollout cache answers exact replays (keyed on the
+    /// observation digest, guidance schedule, and tier).
     pub fn submit_nowcast(&self, request: NowcastRequest) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::Acquire) {
@@ -599,10 +1000,13 @@ impl ServeEngine {
             return Err(ServeError::Shutdown);
         }
         self.validate_nowcast(&request)?;
+        let tenant = self.tenant_of(&request.tenant);
+        self.check_quota(&tenant, request.n_members as f64)?;
+        let tier = self.route(request.tier, request.deadline, 1)?;
         let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
         let id = self.acquire_slot()?;
         let _adm = adm.step(id);
-        let req = Arc::new(RequestState::new_nowcast(id, &request));
+        let req = Arc::new(RequestState::new_nowcast(id, &request, tier, tenant));
         shared.events.record(
             CLIENT_ACTOR,
             ServeEvent::AdmittedNowcast {
@@ -611,6 +1015,7 @@ impl ServeEngine {
                 n_obs: request.observations.n_present(),
             },
         );
+        shared.events.record(CLIENT_ACTOR, ServeEvent::Routed { req: id, tier });
         self.enqueue_members(req)
     }
 
@@ -698,7 +1103,15 @@ impl ServeEngine {
                 }
             }
         }
-        shared.queue.push_many(tasks);
+        let queue = &shared.queues[req.tier.index()];
+        let metas: Vec<(MemberTask, TaskMeta)> = tasks
+            .into_iter()
+            .map(|t| {
+                let meta = shared.task_meta(&t);
+                (t, meta)
+            })
+            .collect();
+        queue.push_many(metas);
         Ok(Ticket { req })
     }
 
@@ -810,6 +1223,23 @@ impl ServeEngine {
         self.shared.accepting.store(false, Ordering::Release);
     }
 
+    /// Gate dispatch on both tiers: workers stop pulling work (submissions
+    /// are still accepted and queue up) until [`ServeEngine::release_dispatch`].
+    /// Lets tests build a deterministic backlog; also usable as a
+    /// maintenance pause.
+    pub fn hold_dispatch(&self) {
+        for q in &self.shared.queues {
+            q.hold();
+        }
+    }
+
+    /// Re-open dispatch after [`ServeEngine::hold_dispatch`].
+    pub fn release_dispatch(&self) {
+        for q in &self.shared.queues {
+            q.release();
+        }
+    }
+
     /// Block until every admitted request has resolved.
     pub fn drain(&self) {
         let mut g = self.shared.outstanding.lock();
@@ -822,20 +1252,51 @@ impl ServeEngine {
     /// stop the workers, and return the final ops report.
     pub fn shutdown(mut self) -> ServeReport {
         self.stop_accepting();
+        // A held queue cannot drain; close() also clears any hold.
+        for q in &self.shared.queues {
+            q.release();
+        }
         self.drain();
-        self.shared.queue.close();
+        for q in &self.shared.queues {
+            q.close();
+        }
         for w in self.workers.drain(..) {
             w.join().expect("serve worker panicked");
         }
-        let completed = self.shared.completed.load(Ordering::Relaxed);
-        self.shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
+        let shared = &self.shared;
+        let completed = shared.completed.load(Ordering::Relaxed);
+        shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
+        let tiers = [Tier::Fast, Tier::Quality].map(|t| TierCounts {
+            completed: shared.tier_completed[t.index()].load(Ordering::Relaxed),
+            shed: shared.tier_shed[t.index()].load(Ordering::Relaxed),
+            nowcasts: shared.tier_nowcasts[t.index()].load(Ordering::Relaxed),
+        });
+        let mut tenants: Vec<(String, TenantCounts)> = shared
+            .tenants
+            .lock()
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.to_string(),
+                    TenantCounts {
+                        completed: c.completed,
+                        shed: c.shed,
+                        quota_denied: c.quota_denied,
+                    },
+                )
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
         ServeReport {
             completed,
-            nowcasts: self.shared.nowcasts.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            events: self.shared.events.snapshot(),
-            metrics: self.shared.metrics.clone(),
-            cache: self.shared.cache.stats(),
+            nowcasts: shared.nowcasts.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            quota_denied: shared.quota_denied.load(Ordering::Relaxed),
+            tiers,
+            tenants,
+            events: shared.events.snapshot(),
+            metrics: shared.metrics.clone(),
+            cache: shared.cache.stats(),
         }
     }
 
@@ -854,9 +1315,9 @@ impl ServeEngine {
         self.shared.cache.stats()
     }
 
-    /// Pending member-step tasks in the micro-batcher's pool.
+    /// Pending member-step tasks across both tiers' dispatch queues.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.depth()
+        self.shared.total_queue_depth()
     }
 
     /// Requests served to completion so far.
@@ -877,32 +1338,15 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     /// Dropping without [`ServeEngine::shutdown`] still finishes admitted
-    /// work (workers drain the pool before exiting), so no ticket is ever
+    /// work (workers drain the pools before exiting), so no ticket is ever
     /// left hanging.
     fn drop(&mut self) {
         self.shared.accepting.store(false, Ordering::Release);
-        self.shared.queue.close();
+        for q in &self.shared.queues {
+            q.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
-        }
-    }
-}
-
-#[cfg(test)]
-pub(crate) mod test_support {
-    use super::*;
-
-    /// Build a detached member task for batcher unit tests.
-    pub(crate) fn member_task(req: &ForecastRequest, id: u64) -> MemberTask {
-        let state = Arc::new(RequestState::new(id, req));
-        MemberTask {
-            member: 0,
-            next_step: 0,
-            x: Arc::clone(&state.init),
-            rng: Rng::seed_from(req.seed).stream(1),
-            states: Vec::new(),
-            cache_hits: 0,
-            req: state,
         }
     }
 }
@@ -930,6 +1374,17 @@ mod tests {
         })
     }
 
+    fn tiny_student(fc: &Forecaster) -> Arc<ConsistencyStudent> {
+        // A teacher-copy student (zero distillation steps) keeps the tests
+        // fast; the serving engine only cares that it is *a* one-step model.
+        Arc::new(ConsistencyStudent {
+            model: fc.replicate().model,
+            stats: fc.stats.clone(),
+            res_stats: fc.res_stats.clone(),
+            tf: fc.sampler.tf,
+        })
+    }
+
     fn request(seed: u64, steps: usize, n_members: usize) -> ForecastRequest {
         let mut rng = Rng::seed_from(seed ^ 0xDECAF);
         ForecastRequest {
@@ -939,6 +1394,8 @@ mod tests {
             n_members,
             seed,
             deadline: None,
+            tenant: None,
+            tier: None,
         }
     }
 
@@ -952,6 +1409,7 @@ mod tests {
         assert_eq!(resp.forecast.members, direct.members, "served ≠ direct ensemble");
         assert_eq!(resp.computed_steps, 6);
         assert_eq!(resp.cache_hits, 0);
+        assert_eq!(resp.tier, Tier::Quality, "no deadline, no explicit tier ⇒ quality");
     }
 
     #[test]
@@ -974,6 +1432,135 @@ mod tests {
         assert!(engine.events().any(|e| matches!(e, ServeEvent::PrefixReused { .. })));
         let stats = engine.cache_stats();
         assert!(stats.hits >= 8, "cache hits {stats:?}");
+    }
+
+    #[test]
+    fn fast_tier_matches_direct_student_ensemble_bitwise() {
+        let fc = tiny_forecaster();
+        let student = tiny_student(&fc);
+        // Two engines with different worker/replica counts must produce the
+        // same bits: scheduling and replication move time, not numbers.
+        let mut req = request(42, 3, 2);
+        req.tier = Some(Tier::Fast);
+        let direct = student.ensemble(&req.init, &|_k| Tensor::zeros(&[128, 3]), 3, 2, 42);
+        for (workers, replicas) in [(1usize, 1usize), (3, 2)] {
+            let engine = ServeEngine::start_two_tier(
+                Arc::clone(&fc),
+                Arc::clone(&student),
+                ServeConfig { fast_workers: workers, replicas, ..ServeConfig::default() },
+            );
+            let resp = engine.submit(req.clone()).expect("admitted").wait().expect("served");
+            assert_eq!(resp.tier, Tier::Fast);
+            assert_eq!(
+                resp.forecast.members, direct,
+                "fast tier ≠ direct student ensemble ({workers} workers, {replicas} replicas)"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_and_quality_cache_namespaces_never_alias() {
+        let fc = tiny_forecaster();
+        let student = tiny_student(&fc);
+        let engine = ServeEngine::start_two_tier(fc, student, ServeConfig::default());
+        let quality = engine.submit(request(43, 2, 2)).expect("admitted").wait().unwrap();
+        let mut fast_req = request(43, 2, 2);
+        fast_req.tier = Some(Tier::Fast);
+        let fast = engine.submit(fast_req).expect("admitted").wait().unwrap();
+        // Same init/seed/steps, different tier: the fast response must be
+        // computed (not cache-aliased) and numerically different.
+        assert_eq!(fast.cache_hits, 0, "fast tier must not read quality entries");
+        assert_ne!(fast.forecast.members, quality.forecast.members);
+    }
+
+    #[test]
+    fn explicit_fast_without_student_is_a_typed_error() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        let mut req = request(44, 1, 1);
+        req.tier = Some(Tier::Fast);
+        assert!(matches!(engine.submit(req), Err(ServeError::BadRequest(_))));
+        // Routing never picks fast on a quality-only engine either.
+        let mut tight = request(45, 1, 1);
+        tight.deadline = Some(Duration::from_secs(3600));
+        let resp = engine.submit(tight).expect("admitted").wait().expect("served");
+        assert_eq!(resp.tier, Tier::Quality);
+    }
+
+    #[test]
+    fn tight_slack_routes_fast_loose_routes_quality() {
+        let fc = tiny_forecaster();
+        let student = tiny_student(&fc);
+        let engine = ServeEngine::start_two_tier(fc, student, ServeConfig::default());
+        // Default router floor is 250 ms; a 10 s budget on a cold estimator
+        // stays on quality, a 200 ms budget must go fast.
+        let mut tight = request(46, 1, 1);
+        tight.deadline = Some(Duration::from_millis(200));
+        let t = engine.submit(tight).expect("admitted");
+        assert_eq!(t.tier(), Tier::Fast);
+        assert_eq!(t.wait().expect("served").tier, Tier::Fast);
+        let mut loose = request(47, 1, 1);
+        loose.deadline = Some(Duration::from_secs(10));
+        assert_eq!(engine.submit(loose).expect("admitted").tier(), Tier::Quality);
+        let report = engine.shutdown();
+        assert_eq!(report.tier(Tier::Fast).completed, 1);
+        assert_eq!(report.tier(Tier::Quality).completed, 1);
+        assert!(report.events.iter().any(|r| matches!(
+            r.event,
+            ServeEvent::Routed { tier: Tier::Fast, .. }
+        )));
+    }
+
+    #[test]
+    fn wait_for_times_out_then_succeeds() {
+        let engine = ServeEngine::start(tiny_forecaster(), ServeConfig::default());
+        engine.hold_dispatch();
+        let ticket = engine.submit(request(48, 2, 1)).expect("admitted");
+        let err = ticket.wait_for(Duration::from_millis(20)).err().expect("must time out");
+        assert_eq!(err, ServeError::WaitTimeout { req: ticket.id() });
+        engine.release_dispatch();
+        // The request was not cancelled: a later bounded wait succeeds.
+        let resp = ticket.wait_for(Duration::from_secs(30)).expect("served after release");
+        assert_eq!(resp.forecast.members.len(), 1);
+    }
+
+    #[test]
+    fn quotas_deny_over_budget_tenants_with_typed_errors() {
+        use aeris_sched::{QuotaConfig, TenantPolicy};
+        let engine = ServeEngine::start(
+            tiny_forecaster(),
+            ServeConfig {
+                quota: Some(QuotaConfig {
+                    // 4 member-steps of burst, no refill to speak of.
+                    default: TenantPolicy { weight: 1.0, rate: 1e-9, burst: 4.0 },
+                    overrides: vec![(
+                        Arc::from("vip"),
+                        TenantPolicy { weight: 4.0, rate: 0.0, burst: 0.0 },
+                    )],
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        // 2 steps × 2 members = 4 units: first request drains the bucket.
+        let mut first = request(49, 2, 2);
+        first.tenant = Some(Arc::from("acme"));
+        engine.submit(first).expect("admitted").wait().expect("served");
+        let mut second = request(50, 2, 2);
+        second.tenant = Some(Arc::from("acme"));
+        let err = engine.submit(second).err().expect("bucket empty");
+        assert_eq!(err, ServeError::QuotaExceeded { tenant: "acme".into() });
+        // The vip override is unlimited (rate ≤ 0).
+        let mut vip = request(51, 2, 2);
+        vip.tenant = Some(Arc::from("vip"));
+        engine.submit(vip).expect("admitted").wait().expect("served");
+        let report = engine.shutdown();
+        assert_eq!(report.quota_denied, 1);
+        assert_eq!(report.tenant("acme").quota_denied, 1);
+        assert_eq!(report.tenant("acme").completed, 1);
+        assert_eq!(report.tenant("vip").completed, 1);
+        assert!(report
+            .events
+            .iter()
+            .any(|r| matches!(&r.event, ServeEvent::RejectedQuota { tenant } if tenant == "acme")));
     }
 
     #[test]
@@ -1059,6 +1646,8 @@ mod tests {
             n_members: 2,
             seed,
             deadline: None,
+            tenant: None,
+            tier: None,
         }
     }
 
@@ -1084,6 +1673,30 @@ mod tests {
         assert_eq!(report.nowcasts, 1);
         assert_eq!(report.metrics.nowcast_latency_ms.count(), 1);
         assert_eq!(report.metrics.latency_ms.count(), 0, "forecast series untouched");
+    }
+
+    #[test]
+    fn served_fast_nowcast_matches_direct_fast_call_bitwise() {
+        let fc = tiny_forecaster();
+        let student = tiny_student(&fc);
+        let engine =
+            ServeEngine::start_two_tier(fc, Arc::clone(&student), ServeConfig::default());
+        let sched = GuidanceSchedule::Constant(0.5);
+        let mut req = nowcast_request(74, sched);
+        req.tier = Some(Tier::Fast);
+        let bg = Arc::new(req.background.clone());
+        let forc = Tensor::zeros(&[128, 3]);
+        let resp = engine.submit_nowcast(req.clone()).expect("admitted").wait().expect("served");
+        assert_eq!(resp.tier, Tier::Fast);
+        for (m, member) in resp.forecast.members.iter().enumerate() {
+            let direct = aeris_assim::nowcast_member_fast(
+                &student, &bg, &forc, &req.observations, sched, 74, m,
+            );
+            assert_eq!(member[0], direct, "served fast nowcast member {m} ≠ direct call");
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.tier(Tier::Fast).nowcasts, 1);
+        assert_eq!(report.metrics.fast_nowcast_latency_ms.count(), 1);
     }
 
     #[test]
@@ -1123,6 +1736,8 @@ mod tests {
             n_members: 2,
             seed: 73,
             deadline: None,
+            tenant: None,
+            tier: None,
         };
         let served = engine.submit(fr).expect("admitted").wait().unwrap();
         let cached = engine.submit_nowcast(now).expect("admitted").wait().unwrap();
@@ -1168,6 +1783,8 @@ mod tests {
             assert!(t.wait().is_ok());
         }
         assert_eq!(report.completed, 3);
+        assert_eq!(report.tier(Tier::Quality).completed, 3);
+        assert_eq!(report.tenant("public").completed, 3);
         assert!(report.events.iter().any(|r| matches!(r.event, ServeEvent::Drained { completed: 3 })));
         assert_eq!(report.metrics.latency_ms.count(), 3);
         assert!(report.metrics.batch_size.count() > 0);

@@ -86,6 +86,8 @@ fn main() {
             n_members: 4,
             seed: 42,
             deadline: None,
+            tenant: None,
+            tier: None,
         })
         .expect("admitted")
         .wait()

@@ -104,6 +104,8 @@ fn main() {
             n_members: 2,
             seed: 7,
             deadline: None,
+            tenant: None,
+            tier: None,
         })
         .expect("admitted");
     ticket.wait().expect("served");

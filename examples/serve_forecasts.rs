@@ -89,6 +89,8 @@ fn main() {
                         n_members: 4,
                         seed: 42 + (tenant % 2),
                         deadline: Some(Duration::from_secs(120)),
+                        tenant: Some(Arc::from(format!("tenant-{tenant}").as_str())),
+                        tier: None,
                     })
                     .expect("admitted");
                 (tenant, ticket.wait())
@@ -120,6 +122,8 @@ fn main() {
             n_members: 4,
             seed: 42,
             deadline: None,
+            tenant: None,
+            tier: None,
         })
         .expect("admitted");
     let resp = replay.wait().expect("served");
@@ -140,6 +144,8 @@ fn main() {
         n_members: 4,
         seed: 99,
         deadline: Some(Duration::ZERO),
+        tenant: None,
+        tier: None,
     }) {
         Err(ServeError::DeadlineExceeded { req }) => {
             println!("request {req}: shed at admission (deadline exceeded), as intended")

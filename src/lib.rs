@@ -29,6 +29,7 @@ pub use aeris_evaluation as evaluation;
 pub use aeris_nn as nn;
 pub use aeris_obs as obs;
 pub use aeris_perfmodel as perfmodel;
+pub use aeris_sched as sched;
 pub use aeris_serve as serve;
 pub use aeris_swipe as swipe;
 pub use aeris_tensor as tensor;

@@ -162,6 +162,8 @@ fn served_nowcast_is_bitwise_and_replay_hits_cache() {
         n_members: 3,
         seed: 99,
         deadline: None,
+        tenant: None,
+        tier: None,
     };
     let served = engine.submit_nowcast(request()).expect("admitted").wait().expect("served");
     assert_eq!(served.forecast.members.len(), 3);

@@ -1,0 +1,74 @@
+//! Tier-1 bench-artifact schema validation: every `BENCH_*.json` the bench
+//! binaries emit must parse with the repo's own JSON parser
+//! (`aeris::obs::json`), and the serving artifact must carry the per-tier
+//! serving columns (req/s and latency percentiles per tier) the two-tier
+//! acceptance criteria read.
+//!
+//! The artifacts are committed alongside the code, so a bench binary that
+//! starts emitting malformed JSON — or silently drops the per-tier columns —
+//! fails the tier-1 suite instead of surfacing weeks later in a plotting
+//! script.
+
+use aeris::obs::json::{self, JsonValue};
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every committed bench artifact parses as a JSON object.
+#[test]
+fn every_bench_artifact_parses_with_the_in_repo_parser() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(repo_root()).expect("read repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        found += 1;
+        let doc = std::fs::read_to_string(&path).expect("read bench artifact");
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+        assert!(v.as_object().is_some(), "{name}: top level must be an object");
+    }
+    assert!(found >= 1, "no BENCH_*.json artifacts found at the repo root");
+}
+
+/// The serving artifact carries per-tier throughput and latency columns.
+#[test]
+fn serve_artifact_has_per_tier_throughput_and_latency() {
+    let doc = std::fs::read_to_string(repo_root().join("BENCH_serve.json"))
+        .expect("BENCH_serve.json is committed");
+    let v = json::parse(&doc).expect("BENCH_serve.json parses");
+    for tier in ["fast", "quality"] {
+        for key in ["req_per_s", "p50_ms", "p99_ms", "completed", "shed"] {
+            let n = v
+                .at(&["tiers", tier, key])
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("missing tiers.{tier}.{key}"));
+            assert!(n.is_finite() && n >= 0.0, "tiers.{tier}.{key} = {n}");
+        }
+    }
+    // The distilled fast tier must actually be faster — this is the
+    // committed evidence for the two-tier design's premise.
+    let fast = v.at(&["tiers", "fast", "req_per_s"]).and_then(JsonValue::as_f64).unwrap();
+    let quality =
+        v.at(&["tiers", "quality", "req_per_s"]).and_then(JsonValue::as_f64).unwrap();
+    assert!(
+        fast > quality,
+        "fast tier ({fast} req/s) should out-serve quality ({quality} req/s)"
+    );
+    let speedup = v.at(&["tiers", "fast_speedup"]).and_then(JsonValue::as_f64).unwrap();
+    assert!(speedup >= 5.0, "committed fast-tier speedup {speedup} < 5x");
+    // Per-tenant rows: tenant name plus the three counters.
+    let tenants = v.get("tenants").and_then(JsonValue::as_array).expect("tenants array");
+    assert!(!tenants.is_empty());
+    for row in tenants {
+        assert!(row.get("tenant").and_then(JsonValue::as_str).is_some());
+        for key in ["completed", "shed", "quota_denied"] {
+            assert!(
+                row.get(key).and_then(JsonValue::as_f64).is_some(),
+                "tenant row missing {key}"
+            );
+        }
+    }
+}

@@ -264,6 +264,8 @@ fn serve_engine_emits_spans_counters_and_series() {
                 n_members: members,
                 seed,
                 deadline: None,
+                tenant: None,
+                tier: None,
             })
             .expect("admitted");
         ticket.wait().expect("served");

@@ -1,0 +1,199 @@
+//! Tier-1 scheduling integration: earliest-deadline-first dispatch, the
+//! deadline-slack tier router, and the tight-deadline nowcast QoS contract
+//! (ROADMAP item 4's serving bullet), all asserted end to end on the serve
+//! engine's own report.
+//!
+//! - EDF: with one worker and singleton batches, a late-submitted
+//!   tight-deadline request overtakes an earlier loose-deadline one;
+//! - QoS: under a mixed load, tight-deadline nowcasts are routed to the
+//!   distilled fast tier and every one of them completes inside its
+//!   deadline while the quality tier grinds through full-sampler forecasts;
+//! - determinism: the fast tier returns the same bits whatever the worker
+//!   and replica counts, so scheduling policy never leaks into forecasts.
+
+use aeris::core::{AerisConfig, AerisModel, ConsistencyStudent, Forecaster};
+use aeris::diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+use aeris::earthsim::{Grid, NormStats};
+use aeris::serve::{
+    ForecastRequest, Forcings, NowcastRequest, RouterConfig, ServeConfig, ServeEngine,
+    ServeEvent, Tier,
+};
+use aeris::tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_forecaster() -> Arc<Forecaster> {
+    let cfg = AerisConfig::test_tiny();
+    let channels = cfg.channels;
+    let model = AerisModel::new(cfg);
+    let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
+    Arc::new(Forecaster {
+        model,
+        res_stats: stats.clone(),
+        stats,
+        sampler: TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 2, churn: 0.1, second_order: false },
+        ),
+    })
+}
+
+fn tiny_student(fc: &Forecaster) -> Arc<ConsistencyStudent> {
+    Arc::new(ConsistencyStudent {
+        model: fc.replicate().model,
+        stats: fc.stats.clone(),
+        res_stats: fc.res_stats.clone(),
+        tf: fc.sampler.tf,
+    })
+}
+
+fn request(seed: u64, steps: usize, deadline: Option<Duration>) -> ForecastRequest {
+    ForecastRequest {
+        init: Tensor::randn(&[128, 4], &mut Rng::seed_from(seed ^ 0xA15)),
+        forcings: Forcings::Zeros { channels: 3 },
+        steps,
+        n_members: 1,
+        seed,
+        deadline,
+        tenant: None,
+        tier: None,
+    }
+}
+
+/// A tight-deadline request submitted *after* a loose-deadline one must be
+/// dispatched (and therefore completed) first: the dispatch queue is
+/// earliest-deadline-first, not FIFO.
+#[test]
+fn tight_deadline_overtakes_earlier_loose_deadline() {
+    let engine = ServeEngine::start(
+        tiny_forecaster(),
+        // One worker and singleton batches so completion order equals
+        // dispatch order; the hold builds the backlog deterministically.
+        ServeConfig { workers: 1, max_batch: 1, ..ServeConfig::default() },
+    );
+    engine.hold_dispatch();
+    let loose = engine
+        .submit(request(1, 2, Some(Duration::from_secs(600))))
+        .expect("loose admitted");
+    let tight = engine
+        .submit(request(2, 2, Some(Duration::from_secs(60))))
+        .expect("tight admitted");
+    engine.release_dispatch();
+    assert!(loose.wait().is_ok() && tight.wait().is_ok());
+    let report = engine.shutdown();
+    let position = |id: u64| {
+        report
+            .events
+            .iter()
+            .position(|r| matches!(r.event, ServeEvent::Completed { req, .. } if req == id))
+            .unwrap_or_else(|| panic!("request {id} never completed"))
+    };
+    assert!(
+        position(tight.id()) < position(loose.id()),
+        "EDF violated: the tight-deadline request completed after the loose one"
+    );
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.shed, 0);
+}
+
+/// ROADMAP item 4, "tight-deadline nowcast QoS": under a mixed load, every
+/// tight-deadline nowcast is routed to the distilled fast tier and finishes
+/// inside its deadline — none shed, none stuck behind the quality tier's
+/// full-sampler forecasts — asserted on the report's per-tier counters.
+#[test]
+fn tight_deadline_nowcasts_meet_qos_on_the_fast_tier() {
+    let fc = tiny_forecaster();
+    let student = tiny_student(&fc);
+    let engine = ServeEngine::start_two_tier(
+        Arc::clone(&fc),
+        student,
+        ServeConfig {
+            workers: 2,
+            fast_workers: 2,
+            // A 5 s slack floor: any request with ≤ 5 s of headroom goes
+            // fast without waiting for the service estimator to warm up.
+            router: RouterConfig { slack_floor: Duration::from_secs(5), ..RouterConfig::default() },
+            ..ServeConfig::default()
+        },
+    );
+
+    let grid = Grid::new(8, 16);
+    let op = aeris::assim::ObsOperator::stations(&grid, 32, &[0, 1], &[0.5; 4], 9);
+    let deadline = Duration::from_secs(2);
+    let mut quality_tickets = Vec::new();
+    let mut nowcast_tickets = Vec::new();
+    for i in 0..4u64 {
+        // Background quality traffic: undeadlined full-sampler forecasts.
+        quality_tickets.push(engine.submit(request(100 + i, 2, None)).expect("admitted"));
+        // The nowcast desk: 2 s deadline, tier left to the router.
+        let truth = Tensor::randn(&[128, 4], &mut Rng::seed_from(0xBE5 + i));
+        let ticket = engine
+            .submit_nowcast(NowcastRequest {
+                background: Tensor::randn(&[128, 4], &mut Rng::seed_from(0xA15 + i)),
+                forcings: Forcings::Zeros { channels: 3 },
+                observations: Arc::new(op.observe(&truth, 0.1, 0x0B5 + i)),
+                schedule: aeris::assim::GuidanceSchedule::Constant(0.3),
+                n_members: 2,
+                seed: 200 + i,
+                deadline: Some(deadline),
+                tenant: Some(Arc::from("nowcast-desk")),
+                tier: None,
+            })
+            .expect("admitted");
+        assert_eq!(ticket.tier(), Tier::Fast, "2 s slack under a 5 s floor must route fast");
+        nowcast_tickets.push(ticket);
+    }
+
+    for t in &nowcast_tickets {
+        let resp = t.wait().expect("tight-deadline nowcast must be served, not shed");
+        assert_eq!(resp.tier, Tier::Fast);
+        assert!(
+            resp.latency < deadline,
+            "nowcast {} blew its deadline: {:?} ≥ {deadline:?}",
+            resp.id,
+            resp.latency
+        );
+    }
+    for t in &quality_tickets {
+        assert_eq!(t.wait().expect("forecast served").tier, Tier::Quality);
+    }
+
+    let report = engine.shutdown();
+    // The QoS contract, read off the per-tier counters: all 4 nowcasts
+    // completed on the fast tier, zero shed anywhere, and the quality tier
+    // completed its 4 forecasts independently.
+    assert_eq!(report.tier(Tier::Fast).completed, 4);
+    assert_eq!(report.tier(Tier::Fast).nowcasts, 4);
+    assert_eq!(report.tier(Tier::Fast).shed, 0);
+    assert_eq!(report.tier(Tier::Quality).completed, 4);
+    assert_eq!(report.tier(Tier::Quality).nowcasts, 0);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.tenant("nowcast-desk").completed, 4);
+    assert_eq!(report.metrics.fast_nowcast_latency_ms.count(), 4);
+}
+
+/// Scheduling policy must never leak into forecast numbers: the fast tier
+/// returns bitwise-identical ensembles whatever the worker/replica counts,
+/// and they equal a direct student ensemble call.
+#[test]
+fn fast_tier_bits_are_invariant_under_scheduling_configuration() {
+    let fc = tiny_forecaster();
+    let student = tiny_student(&fc);
+    let mut req = request(77, 3, None);
+    req.n_members = 2;
+    req.tier = Some(Tier::Fast);
+    let direct = student.ensemble(&req.init, &|_k| Tensor::zeros(&[128, 3]), 3, 2, 77);
+    for (fast_workers, replicas) in [(1usize, 1usize), (2, 1), (4, 3)] {
+        let engine = ServeEngine::start_two_tier(
+            Arc::clone(&fc),
+            Arc::clone(&student),
+            ServeConfig { fast_workers, replicas, ..ServeConfig::default() },
+        );
+        let resp = engine.submit(req.clone()).expect("admitted").wait().expect("served");
+        assert_eq!(resp.tier, Tier::Fast);
+        assert_eq!(
+            resp.forecast.members, direct,
+            "fast tier diverged at {fast_workers} workers / {replicas} replicas"
+        );
+    }
+}

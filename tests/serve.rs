@@ -57,6 +57,8 @@ fn request(seed: u64, deadline: Option<Duration>) -> ForecastRequest {
         n_members: MEMBERS,
         seed,
         deadline,
+        tenant: None,
+        tier: None,
     }
 }
 
