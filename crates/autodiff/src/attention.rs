@@ -128,9 +128,13 @@ fn rope_row_inv(src: &[f32], dst: &mut [f32], cos: &[f32], sin: &[f32], n_heads:
 }
 
 /// Recompute the softmax probability row for query `i`, head `base..`, of the
-/// current window into `prow`. Mirrors the exact op order of the unfused path
-/// (full dot product, then ×scale; max / exp / ×(1/z) softmax), so fused and
-/// unfused forwards agree to the last bit.
+/// current window into `prow`. Matches the unfused op *structure* (full dot
+/// product, then ×scale; max / exp / ×(1/z) softmax) with a fixed k-ascending
+/// accumulation order, so the row is bitwise identical between the forward
+/// and backward recompute at any thread count. The unfused tape path now runs
+/// through the packed SIMD GEMM (FMA contraction on AVX2 hosts) and a
+/// lane-split softmax sum, so fused-vs-unfused agreement is within FMA /
+/// lane-order rounding (≤ 1e-5 under test), not bitwise.
 #[allow(clippy::too_many_arguments)]
 fn prob_row(
     qr: &[f32],
@@ -205,10 +209,10 @@ fn forward(
                 for i in 0..wlen {
                     prob_row(&scr.qr, &scr.kr, &mut scr.prow, i, base, dim, head_dim, scale);
                     let out = &mut o_win[i * dim + base..i * dim + base + head_dim];
+                    // No zero-skip on pw: skipping `0 · v` would suppress
+                    // NaN/Inf propagation from V and put a data-dependent
+                    // branch in the hot loop.
                     for (j, &pw) in scr.prow.iter().enumerate() {
-                        if pw == 0.0 {
-                            continue;
-                        }
                         let v_j = &v_data[(r0 + j) * dim + base..(r0 + j) * dim + base + head_dim];
                         for (oc, &vc) in out.iter_mut().zip(v_j) {
                             *oc += pw * vc;

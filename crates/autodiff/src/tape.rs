@@ -1,6 +1,6 @@
 //! The differentiation tape.
 
-use aeris_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use aeris_tensor::{matmul, matmul_nt, matmul_tn, sweeps, Tensor};
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape that
 /// created it.
@@ -238,7 +238,7 @@ impl Tape {
                 for r in 0..rows {
                     let yr = y.row(r);
                     let dr = &d.data()[r * cols..(r + 1) * cols];
-                    let dot: f32 = yr.iter().zip(dr).map(|(&p, &g)| p * g).sum();
+                    let dot = sweeps::dot(yr, dr);
                     let out = dx.row_mut(r);
                     for ((o, &p), &g) in out.iter_mut().zip(yr).zip(dr) {
                         *o = p * (g - dot);
@@ -262,7 +262,7 @@ impl Tape {
         let mut inv_rms = Vec::with_capacity(rows);
         for r in 0..rows {
             let xr = xv.row(r);
-            let ms: f32 = xr.iter().map(|&v| v * v).sum::<f32>() / dim as f32;
+            let ms = sweeps::sum_sq(xr) / dim as f32;
             let ir = 1.0 / (ms + eps).sqrt();
             inv_rms.push(ir);
             for (o, (&xi, &gi)) in value.row_mut(r).iter_mut().zip(xr.iter().zip(gv.data())) {
@@ -282,11 +282,7 @@ impl Tape {
                     let xr = xv.row(r);
                     let dr = &d.data()[r * dim..(r + 1) * dim];
                     let ir = inv_rms[r];
-                    // s = Σ γ_j d_j x_j
-                    let mut s = 0.0f32;
-                    for j in 0..dim {
-                        s += gv.data()[j] * dr[j] * xr[j];
-                    }
+                    let s = sweeps::dot3(gv.data(), dr, xr); // Σ γ_j d_j x_j
                     let coef = s * ir * ir * ir / dim as f32;
                     let dxr = dx.row_mut(r);
                     for j in 0..dim {

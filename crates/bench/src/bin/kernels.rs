@@ -19,7 +19,9 @@ use aeris_core::{AerisConfig, AerisModel, TrainSample, Trainer, TrainerConfig};
 use aeris_earthsim::Grid;
 use aeris_nn::RopeTable;
 use aeris_obs::{MetricSeries, Tracer};
-use aeris_tensor::{matmul, matmul_nt, matmul_tn, Rng, Tensor};
+use aeris_tensor::{
+    matmul, matmul_bf16, matmul_nt, matmul_nt_bf16, matmul_tn, matmul_tn_bf16, Rng, Tensor,
+};
 use std::time::Instant;
 
 /// Thread counts to sweep: 1, 2, and the machine width, deduplicated.
@@ -50,31 +52,53 @@ fn time_best(reps: usize, series: &MetricSeries, mut f: impl FnMut()) -> f64 {
 struct GemmResult {
     name: &'static str,
     dims: (usize, usize, usize),
+    /// Operand storage: `"f32"` or `"bf16"` (accumulation is always f32).
+    dtype: &'static str,
     /// `(threads, gflops)` rows.
     rows: Vec<(usize, f64)>,
 }
 
+impl GemmResult {
+    fn json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(t, gf)| format!("{{\"threads\": {t}, \"gflops\": {gf:.3}}}"))
+            .collect();
+        format!(
+            "{{\"m\": {}, \"n\": {}, \"k\": {}, \"dtype\": \"{}\", \"rows\": [{}]}}",
+            self.dims.0,
+            self.dims.1,
+            self.dims.2,
+            self.dtype,
+            rows.join(", ")
+        )
+    }
+}
+
+/// Sweep `kernel` (which must run one full GEMM of `dims` per call) over the
+/// thread counts. Operand construction stays outside the closure so only the
+/// multiply is timed; reps is scaled so tiny hot shapes still get stable
+/// best-of numbers.
 fn bench_gemm(
     tracer: &Tracer,
     name: &'static str,
     dims: (usize, usize, usize),
-    kernel: impl Fn(&Tensor, &Tensor) -> Tensor,
-    a: Tensor,
-    b: Tensor,
+    dtype: &'static str,
+    kernel: impl Fn(),
 ) -> GemmResult {
     let (m, n, k) = dims;
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let reps = if flops < 1e8 { 20 } else { 5 };
     let mut rows = Vec::new();
     for &t in &thread_counts() {
         rayon::set_thread_override(Some(t));
         let series = tracer.series(&format!("kernels_{name}_{t}t_ms"));
-        let secs = time_best(5, &series, || {
-            std::hint::black_box(kernel(&a, &b));
-        });
+        let secs = time_best(reps, &series, &kernel);
         rows.push((t, flops / secs / 1e9));
     }
     rayon::set_thread_override(None);
-    GemmResult { name, dims, rows }
+    GemmResult { name, dims, dtype, rows }
 }
 
 fn main() {
@@ -82,38 +106,68 @@ fn main() {
     let tracer = Tracer::default();
     println!("AERIS kernel benchmark — threads swept: {:?}", thread_counts());
 
-    // --- GEMM kernels (sizes above the parallel threshold) ---
+    // --- GEMM kernels (sizes above the parallel threshold), f32 and bf16
+    //     storage through the same packed microkernel ---
     let s = 256;
+    let a = Tensor::randn(&[s, s], &mut rng);
+    let b = Tensor::randn(&[s, s], &mut rng);
+    let (ah, bh) = (a.to_bf16(), b.to_bf16());
     let gemms = vec![
-        bench_gemm(
-            &tracer,
-            "matmul",
-            (s, s, s),
-            matmul,
-            Tensor::randn(&[s, s], &mut rng),
-            Tensor::randn(&[s, s], &mut rng),
-        ),
-        bench_gemm(
-            &tracer,
-            "matmul_nt",
-            (s, s, s),
-            matmul_nt,
-            Tensor::randn(&[s, s], &mut rng),
-            Tensor::randn(&[s, s], &mut rng),
-        ),
-        bench_gemm(
-            &tracer,
-            "matmul_tn",
-            (s, s, s),
-            matmul_tn,
-            Tensor::randn(&[s, s], &mut rng),
-            Tensor::randn(&[s, s], &mut rng),
-        ),
+        bench_gemm(&tracer, "matmul", (s, s, s), "f32", || {
+            std::hint::black_box(matmul(&a, &b));
+        }),
+        bench_gemm(&tracer, "matmul_nt", (s, s, s), "f32", || {
+            std::hint::black_box(matmul_nt(&a, &b));
+        }),
+        bench_gemm(&tracer, "matmul_tn", (s, s, s), "f32", || {
+            std::hint::black_box(matmul_tn(&a, &b));
+        }),
+        bench_gemm(&tracer, "matmul_bf16", (s, s, s), "bf16", || {
+            std::hint::black_box(matmul_bf16(&ah, &bh));
+        }),
+        bench_gemm(&tracer, "matmul_nt_bf16", (s, s, s), "bf16", || {
+            std::hint::black_box(matmul_nt_bf16(&ah, &bh));
+        }),
+        bench_gemm(&tracer, "matmul_tn_bf16", (s, s, s), "bf16", || {
+            std::hint::black_box(matmul_tn_bf16(&ah, &bh));
+        }),
     ];
     for g in &gemms {
         let cells: Vec<String> =
             g.rows.iter().map(|(t, gf)| format!("{t}T {gf:7.2}")).collect();
-        println!("{:<12} {}x{}x{}  GFLOP/s: {}", g.name, g.dims.0, g.dims.1, g.dims.2, cells.join("  "));
+        println!("{:<16} {}x{}x{}  GFLOP/s: {}", g.name, g.dims.0, g.dims.1, g.dims.2, cells.join("  "));
+    }
+
+    // --- model hot shapes (toy_default geometry: dim 64, 4 heads × head_dim
+    //     16, ffn 128, 8×8 windows over a 32×64 grid → 2048 tokens, window
+    //     length 64): the projection / attention-score / MLP GEMMs a training
+    //     step actually issues ---
+    let (tokens_hot, dim_hot, hd_hot, ffn_hot, wlen_hot) = (2048usize, 64usize, 16usize, 128usize, 64usize);
+    let x_hot = Tensor::randn(&[tokens_hot, dim_hot], &mut rng);
+    let w_proj = Tensor::randn(&[dim_hot, dim_hot], &mut rng);
+    let q_win = Tensor::randn(&[wlen_hot, hd_hot], &mut rng);
+    let k_win = Tensor::randn(&[wlen_hot, hd_hot], &mut rng);
+    let w_up = Tensor::randn(&[dim_hot, ffn_hot], &mut rng);
+    let h_hot = Tensor::randn(&[tokens_hot, ffn_hot], &mut rng);
+    let w_down = Tensor::randn(&[ffn_hot, dim_hot], &mut rng);
+    let hot_shapes = vec![
+        bench_gemm(&tracer, "attn_proj", (tokens_hot, dim_hot, dim_hot), "f32", || {
+            std::hint::black_box(matmul(&x_hot, &w_proj));
+        }),
+        bench_gemm(&tracer, "attn_scores_nt", (wlen_hot, wlen_hot, hd_hot), "f32", || {
+            std::hint::black_box(matmul_nt(&q_win, &k_win));
+        }),
+        bench_gemm(&tracer, "mlp_up", (tokens_hot, ffn_hot, dim_hot), "f32", || {
+            std::hint::black_box(matmul(&x_hot, &w_up));
+        }),
+        bench_gemm(&tracer, "mlp_down", (tokens_hot, dim_hot, ffn_hot), "f32", || {
+            std::hint::black_box(matmul(&h_hot, &w_down));
+        }),
+    ];
+    for g in &hot_shapes {
+        let cells: Vec<String> =
+            g.rows.iter().map(|(t, gf)| format!("{t}T {gf:7.2}")).collect();
+        println!("{:<16} {}x{}x{}  GFLOP/s: {}", g.name, g.dims.0, g.dims.1, g.dims.2, cells.join("  "));
     }
 
     // --- fused window attention (toy_default geometry: 32×64 grid, 8×8
@@ -193,16 +247,20 @@ fn main() {
     ));
     out.push_str("  \"gemm_gflops\": {\n");
     for (i, g) in gemms.iter().enumerate() {
-        let rows: Vec<String> =
-            g.rows.iter().map(|(t, gf)| format!("{{\"threads\": {t}, \"gflops\": {gf:.3}}}")).collect();
         out.push_str(&format!(
-            "    \"{}\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"rows\": [{}]}}{}\n",
+            "    \"{}\": {}{}\n",
             g.name,
-            g.dims.0,
-            g.dims.1,
-            g.dims.2,
-            rows.join(", "),
+            g.json(),
             if i + 1 < gemms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"hot_shapes\": {\n");
+    for (i, g) in hot_shapes.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            g.name,
+            g.json(),
+            if i + 1 < hot_shapes.len() { "," } else { "" }
         ));
     }
     out.push_str("  },\n");

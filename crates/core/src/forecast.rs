@@ -8,7 +8,7 @@
 use crate::model::AerisModel;
 use aeris_diffusion::{Guidance, NoGuidance, TrigFlowSampler};
 use aeris_earthsim::NormStats;
-use aeris_tensor::{Rng, Tensor};
+use aeris_tensor::{sweeps, Rng, Tensor};
 use rayon::prelude::*;
 
 /// A trained model packaged for inference.
@@ -200,15 +200,12 @@ impl Forecaster {
         let mut velocity =
             |x_t: &Tensor, t: f32| self.model.velocity(x_t, &prev_std, forcings, t);
         let residual_std = self.sampler.sample_guided(&shape, &mut velocity, rng, guidance);
-        // Un-standardize the residual and add to the state, walking whole rows
-        // (slice iteration instead of per-element multi-index `at()` lookups).
+        // Un-standardize the residual and add to the state, one unrolled
+        // unit-stride sweep per row (no per-element multi-index lookups).
         let mut next = x_prev.clone();
         let (std, mean) = (&self.res_stats.std, &self.res_stats.mean);
         for r in 0..shape[0] {
-            let row = next.row_mut(r);
-            for (j, (o, &v)) in row.iter_mut().zip(residual_std.row(r)).enumerate() {
-                *o += v * std[j] + mean[j];
-            }
+            sweeps::add_scale_shift(next.row_mut(r), residual_std.row(r), std, mean);
         }
         next
     }

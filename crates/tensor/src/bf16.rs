@@ -1,27 +1,132 @@
-//! Software bfloat16 emulation.
+//! bfloat16 as a real storage format.
 //!
 //! The paper runs all compute-intensive kernels in BF16 while keeping
 //! embeddings, master weights, and gradient reductions in FP32 (§V-A "Mixed
-//! precision"). We reproduce that policy in software: [`round_bf16`] rounds an
-//! f32 to the nearest representable bfloat16 value (round-to-nearest-even)
-//! and returns it widened back to f32, so a "BF16 kernel" is an f32 kernel
-//! whose inputs/outputs pass through this rounding.
+//! precision"). [`Bf16Tensor`] reproduces the *storage* half of that policy
+//! honestly: a `u16` buffer holding the top 16 bits of each f32
+//! (round-to-nearest-even), half the bytes of a [`Tensor`]. The *compute*
+//! half lives in the GEMM core ([`crate::gemm`]): bf16 panels are widened to
+//! f32 in registers during packing and every multiply/accumulate runs in f32,
+//! so a bf16 GEMM reads half the source bandwidth while producing
+//! full-precision accumulations.
+//!
+//! [`round_bf16`] (round f32 → bf16 → f32) is kept for call sites that only
+//! want the rounding effect without the storage change.
 
 use crate::Tensor;
+
+/// Round an f32 to its nearest bf16 bit pattern (round-to-nearest-even).
+/// NaN is canonicalized to a quiet NaN pattern so the carry in the rounding
+/// add can never turn a NaN payload into an infinity.
+#[inline]
+pub fn bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) | 0x0040) as u16;
+    }
+    let lsb = (bits >> 16) & 1;
+    (bits.wrapping_add(0x7FFF + lsb) >> 16) as u16
+}
+
+/// Widen a bf16 bit pattern back to f32 (exact: bf16 ⊂ f32).
+#[inline]
+pub fn bf16_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
 
 /// Round an f32 to bfloat16 precision (RNE) and widen back to f32.
 #[inline]
 pub fn round_bf16(x: f32) -> f32 {
-    let bits = x.to_bits();
-    // bf16 keeps the top 16 bits. Round to nearest, ties to even.
-    let lsb = (bits >> 16) & 1;
-    let rounded = bits.wrapping_add(0x7FFF + lsb);
-    f32::from_bits(rounded & 0xFFFF_0000)
+    bf16_to_f32(bf16_bits(x))
+}
+
+/// A dense, row-major, contiguous bfloat16 tensor: the same layout contract
+/// as [`Tensor`], at half the bytes per element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bf16Tensor {
+    shape: Vec<usize>,
+    data: Vec<u16>,
+}
+
+impl Bf16Tensor {
+    /// Round a full-precision tensor into bf16 storage.
+    pub fn from_f32(t: &Tensor) -> Self {
+        Bf16Tensor {
+            shape: t.shape().to_vec(),
+            data: t.data().iter().map(|&x| bf16_bits(x)).collect(),
+        }
+    }
+
+    /// Wrap raw bf16 bit patterns. Panics if the length does not match.
+    pub fn from_bits(shape: &[usize], data: Vec<u16>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "buffer length {} != shape {:?}", data.len(), shape);
+        Bf16Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape as a slice.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw bf16 bit patterns (row-major).
+    #[inline]
+    pub fn bits(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Storage footprint in bytes (what the halved-bandwidth claim is about).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Widen every element back to an f32 [`Tensor`] (exact).
+    pub fn widen(&self) -> Tensor {
+        Tensor::from_vec(&self.shape, self.data.iter().map(|&b| bf16_to_f32(b)).collect())
+    }
+
+    /// Transpose a 2-D bf16 tensor (bit-pattern moves, no re-rounding).
+    pub fn transpose_2d(&self) -> Bf16Tensor {
+        assert_eq!(self.ndim(), 2, "transpose_2d requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0u16; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Bf16Tensor { shape: vec![n, m], data: out }
+    }
 }
 
 impl Tensor {
-    /// Tensor with every element rounded to bfloat16 precision.
-    pub fn to_bf16(&self) -> Tensor {
+    /// Round into bf16 storage (a real `u16` buffer, half the bytes).
+    pub fn to_bf16(&self) -> Bf16Tensor {
+        Bf16Tensor::from_f32(self)
+    }
+
+    /// Round every element to bf16 precision and widen back: the pure
+    /// rounding effect, without the storage change.
+    pub fn bf16_round_trip(&self) -> Tensor {
         self.map(round_bf16)
     }
 }
@@ -69,6 +174,8 @@ mod tests {
         assert_eq!(round_bf16(-0.0).to_bits(), (-0.0f32).to_bits());
         assert!(round_bf16(f32::INFINITY).is_infinite());
         assert!(round_bf16(f32::NEG_INFINITY).is_infinite());
+        assert!(round_bf16(f32::NAN).is_nan(), "NaN must stay NaN through rounding");
+        assert!(bf16_to_f32(bf16_bits(f32::NAN)).is_nan());
         let mut rng = Rng::seed_from(8);
         for _ in 0..100 {
             let x = rng.normal();
@@ -77,12 +184,34 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_half_and_round_trips_exactly() {
+        let mut rng = Rng::seed_from(9);
+        let t = Tensor::randn(&[8, 8], &mut rng);
+        let b = t.to_bf16();
+        assert_eq!(b.storage_bytes(), t.len() * 2);
+        assert_eq!(b.shape(), t.shape());
+        // widen() is exact on stored bits: a second round trip is identity.
+        let w = b.widen();
+        assert_eq!(w.to_bf16().bits(), b.bits());
+        // And widen() agrees with the pure rounding map.
+        assert_eq!(w.data(), t.bf16_round_trip().data());
+    }
+
+    #[test]
     fn tensor_round_trip_error_small() {
         let mut rng = Rng::seed_from(9);
         let t = Tensor::randn(&[64], &mut rng);
-        let r = t.to_bf16();
+        let r = t.to_bf16().widen();
         for (a, b) in t.data().iter().zip(r.data()) {
             assert!((a - b).abs() <= a.abs() * BF16_EPS + 1e-30);
         }
+    }
+
+    #[test]
+    fn transpose_2d_round_trips() {
+        let mut rng = Rng::seed_from(10);
+        let t = Tensor::randn(&[5, 3], &mut rng).to_bf16();
+        let back = t.transpose_2d().transpose_2d();
+        assert_eq!(t, back);
     }
 }

@@ -5,16 +5,25 @@
 //!
 //! - [`Tensor`]: a contiguous, row-major, dynamically shaped f32 array with
 //!   elementwise / reduction / linear-algebra operations,
-//! - [`matmul()`]: rayon-parallel blocked matrix multiplication,
+//! - [`gemm`]: the shared packed, cache-blocked, register-tiled GEMM core all
+//!   three matmul layouts (and the bf16 paths) lower to,
+//! - [`matmul()`] / [`matmul_nt()`] / [`matmul_tn()`]: rayon-parallel entry
+//!   points over that core, plus [`matmul_bf16()`]-family twins that read
+//!   bf16 operands,
+//! - [`sweeps`]: unrolled unit-stride sweep kernels for the elementwise /
+//!   softmax / un-standardize hot loops,
 //! - [`rng::Rng`]: a deterministic SplitMix64-based random number generator
 //!   with Gaussian sampling and seed-derived independent streams,
-//! - [`bf16`]: software emulation of bfloat16 rounding, used to exercise the
-//!   paper's mixed-precision (BF16 compute / FP32 master) path.
+//! - [`Bf16Tensor`]: real bfloat16 storage (u16 buffers, half the bytes),
+//!   widened to f32 in registers inside the GEMM packing paths — the paper's
+//!   BF16-compute / FP32-accumulate mixed-precision policy.
 //!
 //! Design notes (per the HPC guides): tensors are always contiguous and owned,
 //! hot loops avoid allocation by writing into preallocated outputs where it
 //! matters, and reductions that feed tests use pairwise summation so results
-//! are stable across run-to-run and chunking changes.
+//! are stable across run-to-run and chunking changes. Every kernel keeps a
+//! fixed per-element accumulation order, so results are bitwise identical at
+//! any thread count (see `gemm` module docs for the argument).
 
 // Numerical kernels here frequently walk several arrays with one shared
 // index; explicit indexed loops are clearer than zipped iterator chains in
@@ -23,12 +32,16 @@
 
 pub mod bf16;
 pub mod fft;
+pub mod gemm;
 pub mod matmul;
 pub mod ops;
 pub mod rng;
+pub mod sweeps;
 pub mod tensor;
 
+pub use bf16::{Bf16Tensor, BF16_EPS};
 pub use matmul::{matmul, matmul_into, matmul_tn, matmul_nt};
+pub use matmul::{matmul_bf16, matmul_tn_bf16, matmul_nt_bf16};
 pub use rng::{Rng, RngSnapshot};
 pub use tensor::Tensor;
 

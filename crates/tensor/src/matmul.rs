@@ -1,30 +1,20 @@
-//! Rayon-parallel blocked matrix multiplication.
+//! The GEMM family: `matmul` (NN), `matmul_nt` (NBᵀ), `matmul_tn` (AᵀB), in
+//! f32 and bf16-storage variants, all lowered to the one packed,
+//! cache-blocked micro-kernel in [`crate::gemm`].
 //!
-//! The kernel is a classic row-major ikj loop with a k-panel so the inner loop
-//! is a unit-stride fused multiply-add over the output row — this vectorizes
-//! well and has no per-element bounds checks after slice hoisting. Rows of the
-//! output are distributed over the rayon pool once `m * n * k` crosses a
-//! threshold; below it the sequential kernel avoids the fork-join overhead.
+//! Layout is handled entirely in the packing stage, so every variant runs the
+//! identical branch-free inner loop — in particular `matmul_nt` no longer
+//! computes one strided dot product per output element, and no variant skips
+//! zero multiplicands (a data-dependent branch that also suppressed NaN/Inf
+//! propagation: `0·NaN` must stay NaN).
+//!
+//! See the [`crate::gemm`] module docs for the blocking scheme and the
+//! determinism argument (fixed per-element accumulation order, bitwise
+//! identical at any thread count).
 
+use crate::bf16::Bf16Tensor;
+use crate::gemm::gemm;
 use crate::Tensor;
-use rayon::prelude::*;
-
-/// Above this many multiply-adds, parallelize over output rows.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
-
-#[inline]
-fn mm_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
-    debug_assert_eq!(out_row.len(), n);
-    for (k, &aik) in a_row.iter().enumerate() {
-        if aik == 0.0 {
-            continue;
-        }
-        let b_row = &b[k * n..(k + 1) * n];
-        for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-            *o += aik * bkj;
-        }
-    }
-}
 
 /// `C = A @ B` for `A: [m, k]`, `B: [k, n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -41,22 +31,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
     assert_eq!(c.shape(), &[m, n], "output shape mismatch");
-
-    let a_data = a.data();
-    let b_data = b.data();
-    let c_data = c.data_mut();
-    c_data.fill(0.0);
-
-    if m * n * k >= PAR_THRESHOLD {
-        c_data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| mm_row(&a_data[i * k..(i + 1) * k], b_data, n, out_row));
-    } else {
-        for i in 0..m {
-            mm_row(&a_data[i * k..(i + 1) * k], b_data, n, &mut c_data[i * n..(i + 1) * n]);
-        }
-    }
+    gemm(m, n, k, a.data(), false, b.data(), false, c.data_mut());
 }
 
 /// `C = A^T @ B` for `A: [k, m]`, `B: [k, n]` — the shape that appears in
@@ -67,60 +42,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimension mismatch in matmul_tn");
-    let a_data = a.data();
-    let b_data = b.data();
     let mut c = Tensor::zeros(&[m, n]);
-    let c_data = c.data_mut();
-
-    // C[i, j] = sum_k A[k, i] * B[k, j]; accumulate row-panels of B scaled by A[k, i].
-    if m * n * k >= PAR_THRESHOLD {
-        // Row-blocked parallel path. Reading A column-wise (`a_data[kk*m + i]`,
-        // stride m) inside the hot loop thrashes the cache, so each worker
-        // first packs the A-panel of its row block into a [rows, k] scratch
-        // (contiguous reads of A, small in-cache writes); the compute loop
-        // then streams both the packed panel and B at unit stride. The
-        // per-element accumulation order (kk ascending) is unchanged, so the
-        // packed path is bitwise identical to the sequential one.
-        const ROW_BLOCK: usize = 32;
-        c_data.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each_init(
-            || vec![0.0f32; ROW_BLOCK * k],
-            |pack, (blk, c_block)| {
-                let i0 = blk * ROW_BLOCK;
-                let rows = c_block.len() / n;
-                for kk in 0..k {
-                    let a_row = &a_data[kk * m + i0..kk * m + i0 + rows];
-                    for (r, &aki) in a_row.iter().enumerate() {
-                        pack[r * k + kk] = aki;
-                    }
-                }
-                for (r, out_row) in c_block.chunks_mut(n).enumerate() {
-                    for (kk, &aki) in pack[r * k..(r + 1) * k].iter().enumerate() {
-                        if aki == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_data[kk * n..(kk + 1) * n];
-                        for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                            *o += aki * bkj;
-                        }
-                    }
-                }
-            },
-        );
-    } else {
-        for kk in 0..k {
-            let a_row = &a_data[kk * m..(kk + 1) * m];
-            let b_row = &b_data[kk * n..(kk + 1) * n];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut c_data[i * n..(i + 1) * n];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bkj;
-                }
-            }
-        }
-    }
+    gemm(m, n, k, a.data(), true, b.data(), false, c.data_mut());
     c
 }
 
@@ -133,33 +56,46 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimension mismatch in matmul_nt");
-    let a_data = a.data();
-    let b_data = b.data();
     let mut c = Tensor::zeros(&[m, n]);
-    let c_data = c.data_mut();
+    gemm(m, n, k, a.data(), false, b.data(), true, c.data_mut());
+    c
+}
 
-    let row_job = |i: usize, out_row: &mut [f32]| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    };
+/// `C = A @ B` on bf16-stored operands: `A: [m, k]`, `B: [k, n]`. Panels are
+/// widened to f32 during packing (half the source bandwidth of the f32 path)
+/// and all arithmetic accumulates in f32. Output is a full-precision tensor.
+pub fn matmul_bf16(a: &Bf16Tensor, b: &Bf16Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_bf16 lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_bf16 rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm(m, n, k, a.bits(), false, b.bits(), false, c.data_mut());
+    c
+}
 
-    if m * n * k >= PAR_THRESHOLD {
-        c_data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| row_job(i, out_row));
-    } else {
-        for (i, out_row) in c_data.chunks_mut(n).enumerate() {
-            row_job(i, out_row);
-        }
-    }
+/// `C = A^T @ B` on bf16-stored operands: `A: [k, m]`, `B: [k, n]`.
+pub fn matmul_tn_bf16(a: &Bf16Tensor, b: &Bf16Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch in matmul_tn_bf16");
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm(m, n, k, a.bits(), true, b.bits(), false, c.data_mut());
+    c
+}
+
+/// `C = A @ B^T` on bf16-stored operands: `A: [m, k]`, `B: [n, k]`.
+pub fn matmul_nt_bf16(a: &Bf16Tensor, b: &Bf16Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch in matmul_nt_bf16");
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm(m, n, k, a.bits(), false, b.bits(), true, c.data_mut());
     c
 }
 
@@ -224,8 +160,87 @@ mod tests {
         assert!(matmul_nt(&c, &d).max_abs_diff(&matmul(&c, &d.t())) < 1e-4);
     }
 
+    /// All three variants share one accumulation order, so transposing an
+    /// operand source never changes a single bit of the result.
     #[test]
-    fn tn_packed_parallel_path_matches_and_is_thread_count_stable() {
+    fn variants_are_bitwise_identical_under_transposition() {
+        let mut rng = Rng::seed_from(12);
+        for &(m, n, k) in &[(7, 9, 5), (70, 90, 80)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let nn = matmul(&a, &b);
+            let tn = matmul_tn(&a.t(), &b);
+            let nt = matmul_nt(&a, &b.t());
+            for (x, y) in nn.data().iter().zip(tn.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "tn differs at {m}x{n}x{k}");
+            }
+            for (x, y) in nn.data().iter().zip(nt.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "nt differs at {m}x{n}x{k}");
+            }
+        }
+    }
+
+    /// Zero multiplicands must not short-circuit the accumulation: `0 · NaN`
+    /// is NaN and `0 · ∞` is NaN, and both must reach the output. (The old
+    /// kernels skipped `a == 0.0` rows as an "optimization", silently turning
+    /// NaN-corrupted operands into finite outputs.)
+    #[test]
+    fn nan_and_inf_propagate_through_zero_rows() {
+        for variant in ["nn", "tn", "nt"] {
+            // A has an all-zero row; B carries a NaN and an Inf.
+            let a = Tensor::from_vec(&[2, 2], vec![0.0, 0.0, 1.0, 2.0]);
+            let mut b = Tensor::from_vec(&[2, 2], vec![1.0, f32::NAN, f32::INFINITY, 4.0]);
+            let c = match variant {
+                "nn" => matmul(&a, &b),
+                "tn" => matmul_tn(&a.t(), &b),
+                _ => {
+                    b = b.t();
+                    matmul_nt(&a, &b)
+                }
+            };
+            // Row 0 of C multiplies the zero row against NaN/Inf columns.
+            assert!(
+                c.at(&[0, 0]).is_nan() && c.at(&[0, 1]).is_nan(),
+                "{variant}: zero row must produce NaN against NaN/Inf operands, got {:?}",
+                c.data()
+            );
+            assert!(!c.all_finite());
+        }
+    }
+
+    #[test]
+    fn bf16_variants_match_f32_within_bf16_eps() {
+        use crate::bf16::BF16_EPS;
+        let mut rng = Rng::seed_from(5);
+        for &(m, n, k) in &[(13, 11, 9), (70, 90, 80)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            // Reference: f32 GEMM over the *rounded* operands — isolates the
+            // storage rounding from the kernel.
+            let ar = a.to_bf16();
+            let br = b.to_bf16();
+            let reference = matmul(&ar.widen(), &br.widen());
+            let c_nn = matmul_bf16(&ar, &br);
+            assert_eq!(c_nn.data(), reference.data(), "bf16 NN must equal widen-then-f32-GEMM");
+            // And the end-to-end deviation from the unrounded f32 path obeys
+            // the k-term accumulation bound ~ 2·k·BF16_EPS on unit-scale data.
+            let full = matmul(&a, &b);
+            let bound = 2.0 * k as f32 * BF16_EPS * (k as f32).sqrt().max(1.0);
+            assert!(
+                c_nn.max_abs_diff(&full) <= bound,
+                "bf16 GEMM deviates {} > bound {bound} at {m}x{n}x{k}",
+                c_nn.max_abs_diff(&full)
+            );
+            // Transposed-source variants agree bitwise with NN on rounded data.
+            let c_tn = matmul_tn_bf16(&ar.transpose_2d(), &br);
+            let c_nt = matmul_nt_bf16(&ar, &br.transpose_2d());
+            assert_eq!(c_nn.data(), c_tn.data());
+            assert_eq!(c_nn.data(), c_nt.data());
+        }
+    }
+
+    #[test]
+    fn tn_parallel_path_matches_and_is_thread_count_stable() {
         // 90·80·70 multiply-adds exceeds PAR_THRESHOLD, so this exercises the
         // packed row-block path.
         let mut rng = Rng::seed_from(6);

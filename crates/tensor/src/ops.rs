@@ -4,7 +4,7 @@
 //! the layers in `aeris-nn` broadcast explicitly where the architecture needs
 //! it, which keeps shape errors loud).
 
-use crate::{pairwise_sum, Tensor};
+use crate::{pairwise_sum, sweeps, Tensor};
 
 impl Tensor {
     /// Elementwise map into a new tensor.
@@ -32,50 +32,60 @@ impl Tensor {
         Tensor::from_vec(self.shape(), data)
     }
 
-    /// Elementwise addition.
+    /// Elementwise addition (unrolled sweep).
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a + b)
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        let mut out = vec![0.0f32; self.len()];
+        sweeps::add_into(&mut out, self.data(), other.data());
+        Tensor::from_vec(self.shape(), out)
     }
 
-    /// Elementwise subtraction.
+    /// Elementwise subtraction (unrolled sweep).
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a - b)
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
+        let mut out = vec![0.0f32; self.len()];
+        sweeps::sub_into(&mut out, self.data(), other.data());
+        Tensor::from_vec(self.shape(), out)
     }
 
-    /// Elementwise (Hadamard) product.
+    /// Elementwise (Hadamard) product (unrolled sweep).
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a * b)
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in mul");
+        let mut out = vec![0.0f32; self.len()];
+        sweeps::mul_into(&mut out, self.data(), other.data());
+        Tensor::from_vec(self.shape(), out)
     }
 
-    /// Elementwise division.
+    /// Elementwise division (unrolled sweep).
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a / b)
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in div");
+        let mut out = vec![0.0f32; self.len()];
+        sweeps::div_into(&mut out, self.data(), other.data());
+        Tensor::from_vec(self.shape(), out)
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += b;
-        }
+        sweeps::add_assign(self.data_mut(), other.data());
     }
 
     /// In-place `self += alpha * other` (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        sweeps::axpy(self.data_mut(), alpha, other.data());
     }
 
     /// Scalar multiple as a new tensor.
     pub fn scale(&self, alpha: f32) -> Tensor {
-        self.map(|x| alpha * x)
+        let mut out = self.clone();
+        sweeps::scale(out.data_mut(), alpha);
+        out
     }
 
     /// In-place scalar multiply.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        self.map_inplace(|x| alpha * x);
+        sweeps::scale(self.data_mut(), alpha);
     }
 
     /// Add a scalar to every element.
@@ -154,18 +164,10 @@ impl Tensor {
         let mut out = vec![0.0f32; rows * cols];
         for r in 0..rows {
             let row = self.row(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let m = sweeps::max(row);
             let dst = &mut out[r * cols..(r + 1) * cols];
-            let mut z = 0.0f32;
-            for (d, &x) in dst.iter_mut().zip(row) {
-                let e = (x - m).exp();
-                *d = e;
-                z += e;
-            }
-            let inv = 1.0 / z;
-            for d in dst.iter_mut() {
-                *d *= inv;
-            }
+            let z = sweeps::exp_shift_sum(dst, row, m);
+            sweeps::scale(dst, 1.0 / z);
         }
         Tensor::from_vec(self.shape(), out)
     }

@@ -1,0 +1,337 @@
+//! Explicitly unrolled, unit-stride sweep kernels for the elementwise /
+//! softmax / un-standardize hot loops.
+//!
+//! Every function here walks contiguous slices in fixed-width chunks
+//! (`W = 8` lanes) with a scalar tail, the shape the autovectorizer lifts to
+//! SIMD on any target. Two rules keep the crate's determinism contract:
+//!
+//! - **Maps** (axpy, scale, scale-shift, …) have no cross-element dependency;
+//!   element `i` is computed from inputs `i` only, so lane width is
+//!   unobservable in the result.
+//! - **Reductions** (lane sums, max) accumulate into `W` independent lanes
+//!   and combine them in one fixed order at the end. The order is different
+//!   from a serial left fold but is *the same* order on every run, every
+//!   thread count, and every input length — results stay bitwise reproducible.
+//!
+//! These are slice-level primitives; `ops.rs`, `forecast.rs`, the autodiff
+//! tape, and the optimizer call them on their own buffers.
+
+/// Lane width for unrolled sweeps. 8 × f32 = one AVX2 register.
+pub const W: usize = 8;
+
+/// `y[i] += alpha * x[i]`.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    let mut yc = y.chunks_exact_mut(W);
+    let mut xc = x.chunks_exact(W);
+    for (yw, xw) in (&mut yc).zip(&mut xc) {
+        for i in 0..W {
+            yw[i] += alpha * xw[i];
+        }
+    }
+    for (a, &b) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *a += alpha * b;
+    }
+}
+
+/// `y[i] *= alpha`.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    let mut yc = y.chunks_exact_mut(W);
+    for yw in &mut yc {
+        for v in yw.iter_mut() {
+            *v *= alpha;
+        }
+    }
+    for v in yc.into_remainder() {
+        *v *= alpha;
+    }
+}
+
+/// `y[i] += x[i]`.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign length mismatch");
+    let mut yc = y.chunks_exact_mut(W);
+    let mut xc = x.chunks_exact(W);
+    for (yw, xw) in (&mut yc).zip(&mut xc) {
+        for i in 0..W {
+            yw[i] += xw[i];
+        }
+    }
+    for (a, &b) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *a += b;
+    }
+}
+
+/// `out[i] = f(a[i], b[i])` for the four arithmetic combiners, written as
+/// concrete loops (a generic closure would defeat the unroll).
+macro_rules! binary_into {
+    ($name:ident, $op:tt) => {
+        #[doc = concat!("`out[i] = a[i] ", stringify!($op), " b[i]`.")]
+        pub fn $name(out: &mut [f32], a: &[f32], b: &[f32]) {
+            assert_eq!(a.len(), b.len(), "binary sweep length mismatch");
+            assert_eq!(out.len(), a.len(), "binary sweep output mismatch");
+            let mut oc = out.chunks_exact_mut(W);
+            let mut ac = a.chunks_exact(W);
+            let mut bc = b.chunks_exact(W);
+            for ((ow, aw), bw) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+                for i in 0..W {
+                    ow[i] = aw[i] $op bw[i];
+                }
+            }
+            for ((o, &x), &y) in oc
+                .into_remainder()
+                .iter_mut()
+                .zip(ac.remainder())
+                .zip(bc.remainder())
+            {
+                *o = x $op y;
+            }
+        }
+    };
+}
+
+binary_into!(add_into, +);
+binary_into!(sub_into, -);
+binary_into!(mul_into, *);
+binary_into!(div_into, /);
+
+/// Un-standardize sweep: `dst[i] = dst[i] * scale[i] + shift[i]`.
+pub fn scale_shift(dst: &mut [f32], scale: &[f32], shift: &[f32]) {
+    assert_eq!(dst.len(), scale.len(), "scale_shift length mismatch");
+    assert_eq!(dst.len(), shift.len(), "scale_shift length mismatch");
+    let mut dc = dst.chunks_exact_mut(W);
+    let mut sc = scale.chunks_exact(W);
+    let mut hc = shift.chunks_exact(W);
+    for ((dw, sw), hw) in (&mut dc).zip(&mut sc).zip(&mut hc) {
+        for i in 0..W {
+            dw[i] = dw[i] * sw[i] + hw[i];
+        }
+    }
+    for ((d, &s), &h) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(sc.remainder())
+        .zip(hc.remainder())
+    {
+        *d = *d * s + h;
+    }
+}
+
+/// Accumulating un-standardize sweep:
+/// `dst[i] += src[i] * scale[i] + shift[i]`.
+pub fn add_scale_shift(dst: &mut [f32], src: &[f32], scale: &[f32], shift: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_scale_shift length mismatch");
+    assert_eq!(dst.len(), scale.len(), "add_scale_shift length mismatch");
+    assert_eq!(dst.len(), shift.len(), "add_scale_shift length mismatch");
+    let mut dc = dst.chunks_exact_mut(W);
+    let mut vc = src.chunks_exact(W);
+    let mut sc = scale.chunks_exact(W);
+    let mut hc = shift.chunks_exact(W);
+    for (((dw, vw), sw), hw) in (&mut dc).zip(&mut vc).zip(&mut sc).zip(&mut hc) {
+        for i in 0..W {
+            dw[i] += vw[i] * sw[i] + hw[i];
+        }
+    }
+    for (((d, &v), &s), &h) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(vc.remainder())
+        .zip(sc.remainder())
+        .zip(hc.remainder())
+    {
+        *d += v * s + h;
+    }
+}
+
+/// Maximum of a slice (`-inf` on empty). Lane-split max; `f32::max` ignores
+/// NaN in either argument the same way the previous serial fold did.
+pub fn max(x: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; W];
+    let mut xc = x.chunks_exact(W);
+    for xw in &mut xc {
+        for i in 0..W {
+            lanes[i] = lanes[i].max(xw[i]);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for &v in xc.remainder() {
+        m = m.max(v);
+    }
+    for l in lanes {
+        m = m.max(l);
+    }
+    m
+}
+
+/// Softmax numerator sweep: `dst[i] = exp(src[i] - shift)`, returning the sum
+/// of all numerators. The sum accumulates into `W` lanes combined in a fixed
+/// order (tail first, then lanes 0..W), identical across runs.
+pub fn exp_shift_sum(dst: &mut [f32], src: &[f32], shift: f32) -> f32 {
+    assert_eq!(dst.len(), src.len(), "exp_shift_sum length mismatch");
+    let mut lanes = [0.0f32; W];
+    let mut dc = dst.chunks_exact_mut(W);
+    let mut sc = src.chunks_exact(W);
+    for (dw, sw) in (&mut dc).zip(&mut sc) {
+        for i in 0..W {
+            let e = (sw[i] - shift).exp();
+            dw[i] = e;
+            lanes[i] += e;
+        }
+    }
+    let mut z = 0.0f32;
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        let e = (s - shift).exp();
+        *d = e;
+        z += e;
+    }
+    for l in lanes {
+        z += l;
+    }
+    z
+}
+
+/// Dot product into `W` lanes with fixed combine order (tail, then lanes).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut lanes = [0.0f32; W];
+    let mut ac = a.chunks_exact(W);
+    let mut bc = b.chunks_exact(W);
+    for (aw, bw) in (&mut ac).zip(&mut bc) {
+        for i in 0..W {
+            lanes[i] += aw[i] * bw[i];
+        }
+    }
+    let mut s = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        s += x * y;
+    }
+    for l in lanes {
+        s += l;
+    }
+    s
+}
+
+/// Triple-product reduction `Σ a[i]·b[i]·c[i]` (RMSNorm backward's
+/// `Σ γ·d·x`), lane-split with the same fixed combine order as [`dot`].
+pub fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot3 length mismatch");
+    assert_eq!(a.len(), c.len(), "dot3 length mismatch");
+    let mut lanes = [0.0f32; W];
+    let mut ac = a.chunks_exact(W);
+    let mut bc = b.chunks_exact(W);
+    let mut cc = c.chunks_exact(W);
+    for ((aw, bw), cw) in (&mut ac).zip(&mut bc).zip(&mut cc) {
+        for i in 0..W {
+            lanes[i] += aw[i] * bw[i] * cw[i];
+        }
+    }
+    let mut s = 0.0f32;
+    for ((&x, &y), &z) in ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .zip(cc.remainder())
+    {
+        s += x * y * z;
+    }
+    for l in lanes {
+        s += l;
+    }
+    s
+}
+
+/// Sum of squares into `W` lanes with fixed combine order (tail, then lanes).
+pub fn sum_sq(x: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; W];
+    let mut xc = x.chunks_exact(W);
+    for xw in &mut xc {
+        for i in 0..W {
+            lanes[i] += xw[i] * xw[i];
+        }
+    }
+    let mut s = 0.0f32;
+    for &v in xc.remainder() {
+        s += v * v;
+    }
+    for l in lanes {
+        s += l;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn maps_match_scalar_reference_on_odd_lengths() {
+        for n in [0, 1, 7, 8, 9, 31, 64, 65] {
+            let a = seq(n);
+            let b: Vec<f32> = seq(n).iter().map(|x| x + 0.5).collect();
+
+            let mut y = a.clone();
+            axpy(&mut y, 0.25, &b);
+            for i in 0..n {
+                assert_eq!(y[i], a[i] + 0.25 * b[i]);
+            }
+
+            let mut out = vec![0.0; n];
+            mul_into(&mut out, &a, &b);
+            for i in 0..n {
+                assert_eq!(out[i], a[i] * b[i]);
+            }
+
+            let mut d = a.clone();
+            scale_shift(&mut d, &b, &a);
+            for i in 0..n {
+                assert_eq!(d[i], a[i] * b[i] + a[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_are_deterministic_and_accurate() {
+        for n in [0usize, 1, 7, 9, 63, 64, 1000] {
+            let x = seq(n);
+            let m = max(&x);
+            let m_ref = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(m, m_ref);
+
+            let s = sum_sq(&x);
+            let s64: f64 = x.iter().map(|&v| (v as f64) * (v as f64)).sum();
+            assert!((s as f64 - s64).abs() <= 1e-4 * s64.abs() + 1e-6);
+            // Bitwise repeatable, and dot(x, x) takes the same lane path.
+            assert_eq!(s.to_bits(), sum_sq(&x).to_bits());
+            assert_eq!(dot(&x, &x).to_bits(), s.to_bits());
+            let ones = vec![1.0f32; n];
+            assert_eq!(dot3(&x, &x, &ones).to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn exp_shift_sum_matches_elementwise() {
+        let x = seq(37);
+        let shift = max(&x);
+        let mut dst = vec![0.0; 37];
+        let z = exp_shift_sum(&mut dst, &x, shift);
+        for i in 0..37 {
+            assert_eq!(dst[i], (x[i] - shift).exp());
+        }
+        let z64: f64 = x.iter().map(|&v| ((v - shift) as f64).exp()).sum();
+        assert!((z as f64 - z64).abs() < 1e-4 * z64);
+    }
+
+    #[test]
+    fn nan_propagates_through_sweeps() {
+        let mut y = vec![1.0f32; 9];
+        let mut x = vec![1.0f32; 9];
+        x[4] = f32::NAN;
+        axpy(&mut y, 1.0, &x);
+        assert!(y[4].is_nan());
+        assert!(sum_sq(&x).is_nan());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the packed GEMM core: every layout variant, f32 and
+//! bf16, against an f64 naive reference over odd, non-block-multiple shapes.
+//!
+//! The packed kernel has three distinct code regions — full MR×NR interior
+//! tiles, partial edge tiles (zero-padded pack lanes), and the k loop — and
+//! shapes drawn from `1..50` hit all of them: most draws are not multiples of
+//! MR=4, NR=16, or the MC row blocking, so the remainder lanes are exercised
+//! constantly rather than only at hand-picked sizes.
+
+use aeris_tensor::{
+    matmul, matmul_bf16, matmul_nt, matmul_nt_bf16, matmul_tn, matmul_tn_bf16, Rng, Tensor,
+    BF16_EPS,
+};
+use proptest::prelude::*;
+
+/// f64 naive `A[m,k] · B[k,n]`, k-ascending like the packed kernel.
+fn reference(a: &Tensor, b: &Tensor) -> Vec<f64> {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aik = a.data()[i * k + p] as f64;
+            for j in 0..n {
+                c[i * n + j] += aik * b.data()[p * n + j] as f64;
+            }
+        }
+    }
+    c
+}
+
+/// Max |got − want| over the output, scaled by the largest |want| (so the
+/// tolerance is relative to the problem's magnitude, not elementwise).
+fn scaled_max_err(got: &Tensor, want: &[f64]) -> f64 {
+    let scale = want.iter().fold(1e-6f64, |m, &w| m.max(w.abs()));
+    got.data()
+        .iter()
+        .zip(want)
+        .fold(0.0f64, |m, (&g, &w)| m.max((g as f64 - w).abs()))
+        / scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three f32 layouts agree with the f64 reference to f32 rounding,
+    /// and agree with each other bitwise (same accumulation order).
+    #[test]
+    fn f32_variants_match_f64_reference(
+        m in 1usize..50,
+        n in 1usize..50,
+        k in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let want = reference(&a, &b);
+
+        let c = matmul(&a, &b);
+        let c_tn = matmul_tn(&a.t(), &b);
+        let c_nt = matmul_nt(&a, &b.t());
+
+        // f32 rounding grows like sqrt(k) for random-sign sums; 16·eps·sqrt(k)
+        // is a comfortable envelope for k < 50.
+        let tol = 16.0 * f32::EPSILON as f64 * (k as f64).sqrt();
+        prop_assert!(scaled_max_err(&c, &want) <= tol,
+            "matmul err {} > {tol} at ({m},{n},{k})", scaled_max_err(&c, &want));
+
+        // Layout variants share the packed kernel: bitwise equal.
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&c), bits(&c_tn), "tn differs at ({},{},{})", m, n, k);
+        prop_assert_eq!(bits(&c), bits(&c_nt), "nt differs at ({},{},{})", m, n, k);
+    }
+
+    /// bf16 storage paths: agreement with the f64 reference computed over the
+    /// *rounded* operands is pure f32-accumulation error; agreement with the
+    /// unrounded reference is bounded by the documented BF16_EPS envelope.
+    #[test]
+    fn bf16_variants_match_f64_reference(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::seed_from(seed ^ 0xbf16);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let (ah, bh) = (a.to_bf16(), b.to_bf16());
+
+        // Reference over the operands the kernel actually sees.
+        let want = reference(&ah.widen(), &bh.widen());
+        let c = matmul_bf16(&ah, &bh);
+        let tol = 16.0 * f32::EPSILON as f64 * (k as f64).sqrt();
+        prop_assert!(scaled_max_err(&c, &want) <= tol,
+            "bf16 accumulation err {} > {tol} at ({m},{n},{k})", scaled_max_err(&c, &want));
+
+        // Against the unrounded reference, error is dominated by the two
+        // input roundings: 2·BF16_EPS per product, ~sqrt(k) cancellation.
+        let full = reference(&a, &b);
+        let bound = 2.0 * BF16_EPS as f64 * (k as f64).sqrt() + tol;
+        prop_assert!(scaled_max_err(&c, &full) <= bound,
+            "bf16 vs unrounded err {} > {bound} at ({m},{n},{k})", scaled_max_err(&c, &full));
+
+        // Layout variants again bitwise equal.
+        let c_tn = matmul_tn_bf16(&ah.transpose_2d(), &bh);
+        let c_nt = matmul_nt_bf16(&ah, &bh.transpose_2d());
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&c), bits(&c_tn), "bf16 tn differs at ({},{},{})", m, n, k);
+        prop_assert_eq!(bits(&c), bits(&c_nt), "bf16 nt differs at ({},{},{})", m, n, k);
+    }
+}

@@ -33,6 +33,66 @@ fn every_bench_artifact_parses_with_the_in_repo_parser() {
     assert!(found >= 1, "no BENCH_*.json artifacts found at the repo root");
 }
 
+/// The kernels artifact carries the packed-GEMM schema: every f32 variant
+/// with a bf16 twin (same dims, `dtype` tagged), the toy_default hot shapes,
+/// and finite positive GFLOP/s rows per thread count.
+#[test]
+fn kernels_artifact_has_gemm_dtype_and_hot_shape_columns() {
+    let doc = std::fs::read_to_string(repo_root().join("BENCH_kernels.json"))
+        .expect("BENCH_kernels.json is committed");
+    let v = json::parse(&doc).expect("BENCH_kernels.json parses");
+
+    let check_entry = |section: &str, name: &str, want_dtype: &str| -> f64 {
+        for dim in ["m", "n", "k"] {
+            let d = v
+                .at(&[section, name, dim])
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("missing {section}.{name}.{dim}"));
+            assert!(d >= 1.0, "{section}.{name}.{dim} = {d}");
+        }
+        let dtype = v
+            .at(&[section, name, "dtype"])
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("missing {section}.{name}.dtype"));
+        assert_eq!(dtype, want_dtype, "{section}.{name}.dtype");
+        let rows = v
+            .at(&[section, name, "rows"])
+            .and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("missing {section}.{name}.rows"));
+        assert!(!rows.is_empty(), "{section}.{name}.rows empty");
+        let mut one_thread = None;
+        for row in rows {
+            let t = row.get("threads").and_then(JsonValue::as_f64).expect("threads");
+            let gf = row.get("gflops").and_then(JsonValue::as_f64).expect("gflops");
+            assert!(t >= 1.0 && gf.is_finite() && gf > 0.0, "{section}.{name}: {t}T {gf}");
+            if t == 1.0 {
+                one_thread = Some(gf);
+            }
+        }
+        one_thread.unwrap_or_else(|| panic!("{section}.{name} has no 1-thread row"))
+    };
+
+    // All six GEMM variants: f32 trio plus bf16-storage twins.
+    let mm = check_entry("gemm_gflops", "matmul", "f32");
+    let nt = check_entry("gemm_gflops", "matmul_nt", "f32");
+    check_entry("gemm_gflops", "matmul_tn", "f32");
+    for name in ["matmul_bf16", "matmul_nt_bf16", "matmul_tn_bf16"] {
+        check_entry("gemm_gflops", name, "bf16");
+    }
+
+    // The committed evidence that the packed backend closed the 5× NT gap:
+    // matmul_nt must be within 2× of plain matmul at 1 thread.
+    assert!(
+        nt >= 0.5 * mm,
+        "matmul_nt ({nt} GFLOP/s) fell below 0.5x matmul ({mm} GFLOP/s)"
+    );
+
+    // Model hot shapes from toy_default (attention head + MLP dims).
+    for name in ["attn_proj", "attn_scores_nt", "mlp_up", "mlp_down"] {
+        check_entry("hot_shapes", name, "f32");
+    }
+}
+
 /// The serving artifact carries per-tier throughput and latency columns.
 #[test]
 fn serve_artifact_has_per_tier_throughput_and_latency() {

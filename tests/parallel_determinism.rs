@@ -105,6 +105,46 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The packed GEMM core parallelizes over fixed disjoint row blocks of C,
+    /// so every layout variant — f32 and bf16 storage alike — must produce
+    /// bitwise identical output at 1 worker and 8, including on shapes that
+    /// are not multiples of the register tile or row blocking.
+    #[test]
+    fn gemm_bitwise_identical_across_thread_counts(
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 1usize..70,
+        seed in 0u64..1000,
+    ) {
+        use aeris::tensor::{matmul, matmul_bf16, matmul_nt, matmul_nt_bf16, matmul_tn, matmul_tn_bf16};
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let (ah, bh) = (a.to_bf16(), b.to_bf16());
+
+        let run = |threads: usize| -> Vec<Vec<u32>> {
+            rayon::set_thread_override(Some(threads));
+            let outs = [
+                matmul(&a, &b),
+                matmul_tn(&a.t(), &b),
+                matmul_nt(&a, &b.t()),
+                matmul_bf16(&ah, &bh),
+                matmul_tn_bf16(&ah.transpose_2d(), &bh),
+                matmul_nt_bf16(&ah, &bh.transpose_2d()),
+            ];
+            rayon::set_thread_override(None);
+            outs.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+
+        prop_assert_eq!(run(1), run(8), "GEMM bits diverged at ({},{},{})", m, n, k);
+    }
+}
+
 /// The `AERIS_THREADS` env override (read at every parallel region) changes
 /// only wall-clock, never bits. Serial narrow/wide runs within one process.
 #[test]

@@ -187,7 +187,7 @@ proptest! {
         let mut bf16_model = AerisModel::new(cfg);
         for i in 0..model.store.len() {
             let id = aeris::nn::ParamId(i);
-            *bf16_model.store.get_mut(id) = model.store.get(id).to_bf16();
+            *bf16_model.store.get_mut(id) = model.store.get(id).to_bf16().widen();
         }
         let rounded = bf16_model.velocity(&x_t, &prev, &forc, 0.6);
         let scale = full.abs_max().max(1e-3);
