@@ -1,15 +1,22 @@
 //! Tracing-overhead benchmark: what does `aeris-obs` cost?
 //!
-//! Three measurements, emitted to `BENCH_obs.json`:
+//! Five measurements, emitted to `BENCH_obs.json`:
 //!
 //! 1. **Span-site microbenchmark** — ns per `Tracer::span()` call with the
 //!    tracer disabled (the steady-state production configuration: one relaxed
 //!    atomic load) and enabled (seq fetch + record on drop).
-//! 2. **End-to-end SWiPe training** — ms/step for the same distributed run
+//! 2. **Histogram record path** — ns per `MetricSeries::record` on the
+//!    lock-free log-linear histogram, single-threaded and with 4 threads
+//!    hammering one shared series, against the old implementation's shape
+//!    (lock a mutex, push into an unbounded `Vec`). Also pins the fixed
+//!    per-series memory footprint and the documented quantile error bound.
+//! 3. **SLO observe path** — ns per `SloTracker::observe` (ring write +
+//!    window recount under a short critical section).
+//! 4. **End-to-end SWiPe training** — ms/step for the same distributed run
 //!    with the tracer disabled vs enabled, plus how many spans the enabled
 //!    run recorded. This is the number the "<2% disabled overhead" contract
 //!    is about.
-//! 3. **Serving engine** — requests/s through `aeris-serve` disabled vs
+//! 5. **Serving engine** — requests/s through `aeris-serve` disabled vs
 //!    enabled.
 //!
 //! ```bash
@@ -21,12 +28,13 @@ use aeris_core::{AerisConfig, AerisModel, Forecaster, TrainSample};
 use aeris_diffusion::{loss_weights, SamplerConfig, TrigFlow, TrigFlowSampler};
 use aeris_earthsim::{Grid, NormStats};
 use aeris_nn::AdamWConfig;
-use aeris_obs::Tracer;
+use aeris_obs::histogram::MAX_QUANTILE_REL_ERROR;
+use aeris_obs::{Histogram, MetricSeries, SloConfig, SloTracker, Tracer};
 use aeris_serve::{ForecastRequest, Forcings, ServeConfig, ServeEngine};
 use aeris_swipe::data::InMemorySource;
 use aeris_swipe::{DistributedTrainer, SwipeConfig, SwipeTopology};
 use aeris_tensor::{Rng, Tensor};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Median seconds per call of `f` over `reps` timed calls (one warmup).
@@ -49,6 +57,62 @@ fn span_site_ns(tracer: &Tracer, iters: u64) -> f64 {
         let _g = tracer.span(aeris_obs::SpanCategory::Forward, 0);
         std::hint::black_box(i);
     }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// ns per `MetricSeries::record` on the lock-free histogram path.
+fn series_record_ns(iters: u64) -> f64 {
+    let s = MetricSeries::new();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        s.record(std::hint::black_box((i % 1000) as f64 + 0.5));
+    }
+    std::hint::black_box(s.count());
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// ns per record for the old implementation's shape: lock a mutex, push the
+/// raw sample into an unbounded `Vec`.
+fn mutex_vec_record_ns(iters: u64) -> f64 {
+    let v: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    for i in 0..iters {
+        v.lock().unwrap().push(std::hint::black_box((i % 1000) as f64 + 0.5));
+    }
+    std::hint::black_box(v.lock().unwrap().len());
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// ns per record with `threads` writers hammering one shared series — the
+/// contended case the sharded atomic buckets exist for.
+fn concurrent_record_ns(threads: u64, iters: u64) -> f64 {
+    let s = Arc::new(MetricSeries::new());
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..iters {
+                    s.record(std::hint::black_box(((i + t * 17) % 1000) as f64 + 0.5));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+    std::hint::black_box(s.count());
+    t0.elapsed().as_secs_f64() * 1e9 / (threads * iters) as f64
+}
+
+/// ns per `SloTracker::observe` on a default-window tracker.
+fn slo_observe_ns(iters: u64) -> f64 {
+    let t = SloTracker::new(SloConfig::default());
+    let t0 = Instant::now();
+    for i in 0..iters {
+        t.observe(std::hint::black_box(i % 100 != 0));
+    }
+    std::hint::black_box(t.state().total);
     t0.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
@@ -178,7 +242,27 @@ fn main() {
     let site_on = span_site_ns(&site_on_t, 1_000_000);
     println!("span site: disabled {site_off:6.2} ns/call, enabled {site_on:6.2} ns/call");
 
-    // 2. trainer
+    // 2. histogram record path (median of 3 runs per variant)
+    let med3 = |f: &dyn Fn() -> f64| {
+        let mut v = [f(), f(), f()];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[1]
+    };
+    let iters = 2_000_000u64;
+    let rec = med3(&|| series_record_ns(iters));
+    let rec_mutex = med3(&|| mutex_vec_record_ns(iters));
+    let rec_mt = med3(&|| concurrent_record_ns(4, iters / 4));
+    println!(
+        "series record: histogram {rec:6.2} ns, mutex+vec baseline {rec_mutex:6.2} ns, \
+         4-thread shared {rec_mt:6.2} ns/record ({} B fixed/series)",
+        Histogram::MEMORY_BYTES
+    );
+
+    // 3. SLO observe path
+    let slo_ns = med3(&|| slo_observe_ns(1_000_000));
+    println!("slo observe: {slo_ns:6.2} ns/outcome");
+
+    // 4. trainer
     let (train_off, _) = bench_train(&disabled);
     let (train_on, train_spans) = bench_train(&enabled);
     let train_pct = overhead_pct(train_off, train_on);
@@ -187,7 +271,7 @@ fn main() {
          ({train_pct:+.2}%, {train_spans} spans/run)"
     );
 
-    // 3. serving
+    // 5. serving
     let serve_off = bench_serve(&Tracer::default());
     let serve_on = bench_serve(&Tracer::new(true));
     let serve_pct = overhead_pct(serve_off, serve_on);
@@ -197,10 +281,16 @@ fn main() {
 
     let out = format!(
         "{{\n  \"span_site_ns\": {{\"disabled\": {site_off:.3}, \"enabled\": {site_on:.3}}},\n  \
+         \"histogram\": {{\"record_ns\": {rec:.3}, \"mutex_vec_record_ns\": {rec_mutex:.3}, \
+         \"concurrent_record_ns\": {rec_mt:.3}, \"memory_bytes\": {mem}, \
+         \"quantile_rel_error_bound\": {bound}}},\n  \
+         \"slo\": {{\"observe_ns\": {slo_ns:.3}}},\n  \
          \"swipe_train\": {{\"disabled_ms_per_step\": {train_off:.3}, \"enabled_ms_per_step\": {train_on:.3}, \
          \"overhead_pct\": {train_pct:.3}, \"spans_per_run\": {train_spans}}},\n  \
          \"serve\": {{\"disabled_req_per_s\": {serve_off:.3}, \"enabled_req_per_s\": {serve_on:.3}, \
-         \"overhead_pct\": {serve_pct:.3}}}\n}}\n"
+         \"overhead_pct\": {serve_pct:.3}}}\n}}\n",
+        mem = Histogram::MEMORY_BYTES,
+        bound = MAX_QUANTILE_REL_ERROR,
     );
     std::fs::write("BENCH_obs.json", &out).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

@@ -1,62 +1,77 @@
-//! Thread-shared scalar metric series with cheap distribution queries.
+//! Thread-shared scalar metric series with bounded memory and lock-free
+//! recording.
 //!
 //! [`MetricSeries`] records scalar samples (latencies, batch sizes, queue
 //! depths, per-step millisecond timings, …) from any number of threads and
-//! answers count/mean/max/percentile queries. Percentiles run off a
-//! **lazily-sorted cache**: recording appends and marks the cache dirty; the
-//! first distribution query after a write sorts once, and every further
-//! query until the next write is O(1) — no per-query clone-and-sort.
-//! [`MetricSeries::summary`] computes the whole count/mean/p50/p95/p99/max
-//! block under a single lock acquisition, which is what the Prometheus
-//! exporter uses.
+//! answers count/mean/max/percentile queries. Since the v2 migration the
+//! storage is a [`Histogram`] — a lock-free sharded log-linear bucket array
+//! with a fixed ~16 KiB footprint — instead of an ever-growing
+//! mutex-guarded `Vec<f64>`:
+//!
+//! - `record()` is lock-free (one atomic bucket increment plus CAS-loop
+//!   sum/min/max updates) and safe on the serve hot path;
+//! - `count`/`mean`/`max` and the `p ≤ 0` / `p ≥ 100` percentiles are
+//!   exact; interior percentiles are deterministic estimates within
+//!   [`MAX_QUANTILE_REL_ERROR`](crate::histogram::MAX_QUANTILE_REL_ERROR)
+//!   (3.125%) of the exact nearest-rank answer;
+//! - memory no longer grows with sample count.
+//!
+//! Tests that need the *raw* samples opt into a bounded reservoir with
+//! [`MetricSeries::with_reservoir`]: the last `capacity` samples are kept in
+//! record order and returned by [`MetricSeries::snapshot`]. The default
+//! series keeps no raw samples and `snapshot()` returns an empty vector.
 
+use crate::histogram::Histogram;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-#[derive(Default)]
-struct Samples {
-    /// Samples in record order.
+/// Bounded ring of raw samples in record order (the exact-sample escape
+/// hatch; opt-in via [`MetricSeries::with_reservoir`]).
+struct Reservoir {
+    cap: usize,
     values: Vec<f64>,
-    /// Sorted copy of `values`, rebuilt lazily when `dirty`.
-    sorted: Vec<f64>,
-    dirty: bool,
-    /// Running sum (mean in O(1)).
-    sum: f64,
-    /// Running maximum.
-    max: f64,
+    /// Index of the oldest retained sample once the ring has wrapped.
+    start: usize,
 }
 
-impl Samples {
-    fn ensure_sorted(&mut self) {
-        if self.dirty {
-            self.sorted.clear();
-            self.sorted.extend_from_slice(&self.values);
-            self.sorted
-                .sort_by(|a, b| a.partial_cmp(b).expect("metric samples must not be NaN"));
-            self.dirty = false;
+impl Reservoir {
+    fn push(&mut self, value: f64) {
+        if self.values.len() < self.cap {
+            self.values.push(value);
+        } else {
+            self.values[self.start] = value;
+            self.start = (self.start + 1) % self.cap;
         }
     }
 
-    /// Nearest-rank percentile over the (sorted) samples.
-    fn percentile(&mut self, p: f64) -> Option<f64> {
-        if self.values.is_empty() {
-            return None;
-        }
-        self.ensure_sorted();
-        let rank = ((p / 100.0) * (self.sorted.len() as f64 - 1.0)).round() as usize;
-        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    fn snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.values.len());
+        out.extend_from_slice(&self.values[self.start..]);
+        out.extend_from_slice(&self.values[..self.start]);
+        out
     }
+}
+
+struct SeriesInner {
+    hist: Histogram,
+    reservoir: Option<Mutex<Reservoir>>,
 }
 
 /// A thread-shared series of scalar metric samples. Cloning shares the
 /// underlying series.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct MetricSeries {
-    samples: Arc<Mutex<Samples>>,
+    inner: Arc<SeriesInner>,
 }
 
-/// The standard distribution block of one series, computed in a single lock
-/// acquisition by [`MetricSeries::summary`].
+impl Default for MetricSeries {
+    fn default() -> Self {
+        MetricSeries::new()
+    }
+}
+
+/// The standard distribution block of one series, computed in a single
+/// histogram merge pass by [`MetricSeries::summary`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MetricSummary {
     pub count: usize,
@@ -78,83 +93,108 @@ impl std::fmt::Display for MetricSummary {
 }
 
 impl MetricSeries {
+    /// Histogram-only series: bounded memory, lock-free record, no raw
+    /// samples retained.
     pub fn new() -> Self {
-        MetricSeries::default()
+        MetricSeries { inner: Arc::new(SeriesInner { hist: Histogram::new(), reservoir: None }) }
     }
 
-    /// Append one sample.
+    /// A series that additionally retains the last `capacity` raw samples in
+    /// record order (returned by [`MetricSeries::snapshot`]) — the bounded
+    /// escape hatch for exact-sample tests. Distribution queries still run
+    /// off the histogram.
+    pub fn with_reservoir(capacity: usize) -> Self {
+        MetricSeries {
+            inner: Arc::new(SeriesInner {
+                hist: Histogram::new(),
+                reservoir: Some(Mutex::new(Reservoir {
+                    cap: capacity.max(1),
+                    values: Vec::new(),
+                    start: 0,
+                })),
+            }),
+        }
+    }
+
+    /// Append one sample. Lock-free on the default series; non-finite
+    /// samples are ignored.
     pub fn record(&self, value: f64) {
-        let mut s = self.samples.lock();
-        s.values.push(value);
-        s.sum += value;
-        if s.values.len() == 1 || value > s.max {
-            s.max = value;
+        self.inner.hist.record(value);
+        if let Some(r) = &self.inner.reservoir {
+            if value.is_finite() {
+                r.lock().push(value);
+            }
         }
-        s.dirty = true;
     }
 
-    /// Number of samples recorded.
+    /// The shared histogram backing this series (bucket iteration for the
+    /// Prometheus exporter, cross-series merging).
+    pub fn histogram(&self) -> &Histogram {
+        &self.inner.hist
+    }
+
+    /// Exact number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.lock().values.len()
+        self.inner.hist.count() as usize
     }
 
-    /// Arithmetic mean, or `None` with no samples.
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.inner.hist.sum()
+    }
+
+    /// Exact arithmetic mean, or `None` with no samples.
     pub fn mean(&self) -> Option<f64> {
-        let s = self.samples.lock();
-        if s.values.is_empty() {
-            return None;
-        }
-        Some(s.sum / s.values.len() as f64)
+        self.inner.hist.mean()
     }
 
-    /// Largest sample, or `None` with no samples.
+    /// Exact smallest sample, or `None` with no samples.
+    pub fn min(&self) -> Option<f64> {
+        self.inner.hist.min()
+    }
+
+    /// Exact largest sample, or `None` with no samples.
     pub fn max(&self) -> Option<f64> {
-        let s = self.samples.lock();
-        if s.values.is_empty() {
-            return None;
-        }
-        Some(s.max)
+        self.inner.hist.max()
     }
 
-    /// The `p`-th percentile (0 ≤ p ≤ 100) by the nearest-rank method, or
-    /// `None` with no samples. Served from the lazily-sorted cache: only the
-    /// first query after a write pays a sort.
+    /// The `p`-th percentile (0 ≤ p ≤ 100), or `None` with no samples.
+    /// `p ≤ 0` / `p ≥ 100` are the exact min/max; interior percentiles are
+    /// histogram estimates within the documented relative-error bound of
+    /// the nearest-rank answer.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        self.samples.lock().percentile(p)
+        self.inner.hist.percentile(p)
     }
 
-    /// count/mean/p50/p95/p99/max in one lock acquisition, or `None` with no
-    /// samples.
+    /// count/mean/p50/p95/p99/max in one histogram merge pass, or `None`
+    /// with no samples.
     pub fn summary(&self) -> Option<MetricSummary> {
-        let mut s = self.samples.lock();
-        if s.values.is_empty() {
-            return None;
-        }
-        s.ensure_sorted();
-        let n = s.sorted.len();
-        let at = |p: f64| {
-            let rank = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
-            s.sorted[rank.min(n - 1)]
-        };
+        let qs = self.inner.hist.percentiles(&[50.0, 95.0, 99.0])?;
         Some(MetricSummary {
-            count: n,
-            mean: s.sum / n as f64,
-            p50: at(50.0),
-            p95: at(95.0),
-            p99: at(99.0),
-            max: s.max,
+            count: self.count(),
+            mean: self.mean().unwrap_or(0.0),
+            p50: qs[0],
+            p95: qs[1],
+            p99: qs[2],
+            max: self.max().unwrap_or(0.0),
         })
     }
 
-    /// Copy out the raw samples in record order.
+    /// The retained raw samples in record order: the last
+    /// `capacity` samples for a [`MetricSeries::with_reservoir`] series,
+    /// empty for the default histogram-only series.
     pub fn snapshot(&self) -> Vec<f64> {
-        self.samples.lock().values.clone()
+        match &self.inner.reservoir {
+            Some(r) => r.lock().snapshot(),
+            None => Vec::new(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::histogram::MAX_QUANTILE_REL_ERROR;
 
     #[test]
     fn distribution_queries() {
@@ -167,10 +207,13 @@ mod tests {
         assert_eq!(m.count(), 4);
         assert!((m.mean().unwrap() - 4.5).abs() < 1e-12);
         assert_eq!(m.max().unwrap(), 9.0);
+        assert_eq!(m.min().unwrap(), 1.0);
         assert_eq!(m.percentile(0.0).unwrap(), 1.0);
         assert_eq!(m.percentile(100.0).unwrap(), 9.0);
+        // Nearest-rank median of [1,3,5,9] is 5; the histogram answers
+        // within its documented relative-error bound.
         let med = m.percentile(50.0).unwrap();
-        assert!(med == 3.0 || med == 5.0, "median {med}");
+        assert!((med - 5.0).abs() <= 5.0 * MAX_QUANTILE_REL_ERROR, "median {med}");
         // Shared across clones.
         let m2 = m.clone();
         m2.record(2.0);
@@ -178,17 +221,31 @@ mod tests {
     }
 
     #[test]
-    fn sorted_cache_tracks_interleaved_writes() {
-        let m = MetricSeries::new();
+    fn reservoir_keeps_record_order_and_is_bounded() {
+        let m = MetricSeries::with_reservoir(3);
         m.record(10.0);
-        assert_eq!(m.percentile(50.0).unwrap(), 10.0);
-        // A write after a query must invalidate the cache.
+        assert_eq!(m.percentile(50.0).unwrap(), 10.0, "single sample is exact");
         m.record(1.0);
         m.record(2.0);
         assert_eq!(m.percentile(0.0).unwrap(), 1.0);
         assert_eq!(m.percentile(100.0).unwrap(), 10.0);
-        // Record order is preserved regardless of the sorted cache.
+        // Record order is preserved in the reservoir.
         assert_eq!(m.snapshot(), vec![10.0, 1.0, 2.0]);
+        // The ring keeps only the last `capacity` samples...
+        m.record(7.0);
+        assert_eq!(m.snapshot(), vec![1.0, 2.0, 7.0]);
+        // ...while the histogram still counts everything.
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn default_series_retains_no_raw_samples() {
+        let m = MetricSeries::new();
+        for v in 0..1000 {
+            m.record(v as f64);
+        }
+        assert!(m.snapshot().is_empty());
+        assert_eq!(m.count(), 1000);
     }
 
     #[test]
@@ -205,5 +262,17 @@ mod tests {
         assert_eq!(s.p99, m.percentile(99.0).unwrap());
         assert_eq!(s.max, 99.0);
         assert!(!format!("{s}").is_empty());
+        // Estimates stay within the documented bound of the exact answers.
+        assert!((s.p50 - 50.0).abs() <= 50.0 * MAX_QUANTILE_REL_ERROR + 1e-9);
+        assert!((s.p95 - 94.0).abs() <= 94.0 * MAX_QUANTILE_REL_ERROR + 1e-9);
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let m = MetricSeries::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.record(v);
+        }
+        assert_eq!(m.sum(), 10.0);
     }
 }

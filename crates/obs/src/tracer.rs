@@ -151,6 +151,9 @@ struct TracerInner {
     /// size, …) and stay live in production; only span/counter sites are
     /// subject to the one-atomic-load budget.
     series: Mutex<Vec<(String, MetricSeries)>>,
+    /// Last-write-wins gauges (status snapshot export). Like series, gauges
+    /// are the always-on ops surface and are not gated by `enabled`.
+    gauges: Mutex<BTreeMap<String, f64>>,
 }
 
 /// A cloneable, thread-shared span tracer. `Tracer::default()` is disabled;
@@ -185,6 +188,7 @@ impl Tracer {
                 spans: Mutex::new(Vec::new()),
                 counters: Mutex::new(BTreeMap::new()),
                 series: Mutex::new(Vec::new()),
+                gauges: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -244,6 +248,24 @@ impl Tracer {
         *self.inner.counters.lock().entry(name.to_string()).or_insert(0) += by;
     }
 
+    /// Bump a named counter regardless of the enabled flag. For rare
+    /// operational events (recovery restarts, steps lost) that must stay
+    /// visible in production where span tracing is off.
+    pub fn incr_always(&self, name: &str, by: u64) {
+        *self.inner.counters.lock().entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a last-write-wins gauge (always on, like series). Rendered as a
+    /// Prometheus `gauge` family by [`Tracer::prometheus_text`].
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Snapshot of the named gauges.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.inner.gauges.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
     /// Get-or-register a named metric series. The returned handle is shared:
     /// recording through it feeds the tracer's Prometheus export. Series
     /// record regardless of the enabled flag (they are the always-on ops
@@ -289,12 +311,14 @@ impl Tracer {
         crate::chrome::chrome_trace_json(&self.snapshot_spans())
     }
 
-    /// Export span totals, counters, and metric-series summaries in the
-    /// Prometheus text exposition format.
+    /// Export span totals, counters, gauges, and metric-series
+    /// summaries + histogram buckets in the Prometheus text exposition
+    /// format.
     pub fn prometheus_text(&self) -> String {
         crate::prometheus::prometheus_text(
             &self.snapshot_spans(),
             &self.counters(),
+            &self.gauges(),
             &self.series_list(),
         )
     }

@@ -38,7 +38,7 @@ pub mod pool;
 pub mod tenant;
 pub mod tier;
 
-pub use dispatch::{DispatchQueue, TaskMeta};
+pub use dispatch::{DispatchQueue, QueueMetrics, TaskMeta};
 pub use estimator::ServiceEstimator;
 pub use pool::ReplicaPool;
 pub use tenant::{QuotaConfig, QuotaDecision, QuotaTable, TenantPolicy};

@@ -93,6 +93,29 @@ impl QuotaTable {
         self.admit_at(tenant, cost, Instant::now())
     }
 
+    /// Read-only snapshot of every known tenant's current token balance
+    /// (refilled to `now` without mutating the buckets), sorted by tenant
+    /// name. Unlimited tenants never open a bucket and so never appear.
+    pub fn balances(&self) -> Vec<(String, f64)> {
+        self.balances_at(Instant::now())
+    }
+
+    /// Deterministic-clock variant of [`QuotaTable::balances`].
+    pub fn balances_at(&self, now: Instant) -> Vec<(String, f64)> {
+        let buckets = self.buckets.lock();
+        let mut out: Vec<(String, f64)> = buckets
+            .iter()
+            .map(|(tenant, bucket)| {
+                let policy = self.cfg.policy(tenant);
+                let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
+                let tokens = (bucket.tokens + dt * policy.rate).min(policy.burst);
+                (tenant.to_string(), tokens)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Deterministic-time variant of [`QuotaTable::admit`] (tests inject
     /// the clock; `now` must be monotone per tenant).
     pub fn admit_at(&self, tenant: &Arc<str>, cost: f64, now: Instant) -> QuotaDecision {
@@ -176,6 +199,22 @@ mod tests {
         let later = t0 + Duration::from_secs(3600);
         assert!(q.admit_at(&t, 20.0, later).admitted());
         assert!(!q.admit_at(&t, 1.0, later).admitted(), "no accumulation past burst");
+    }
+
+    #[test]
+    fn balances_snapshot_refills_without_mutating() {
+        let q = limited(10.0, 20.0);
+        let t: Arc<str> = Arc::from("a");
+        let t0 = Instant::now();
+        assert!(q.admit_at(&t, 15.0, t0).admitted());
+        assert_eq!(q.balances_at(t0), vec![("a".to_string(), 5.0)]);
+        // Half a second later the snapshot shows the refill...
+        let later = t0 + Duration::from_millis(500);
+        let b = q.balances_at(later);
+        assert!((b[0].1 - 10.0).abs() < 1e-9, "{b:?}");
+        // ...but reading did not consume or commit it: an admit at t0's
+        // state still sees 5 tokens (bucket.last unchanged).
+        assert!(!q.admit_at(&t, 6.0, t0).admitted());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use aeris_assim::{GuidanceSchedule, ObservationSet};
 use aeris_core::EnsembleForecast;
+use aeris_obs::SloConfig;
 use aeris_sched::{QuotaConfig, RouterConfig, Tier};
 use aeris_tensor::Tensor;
 use std::sync::Arc;
@@ -249,6 +250,16 @@ pub struct ServeConfig {
     /// Per-tenant admission quotas and fair-queueing weights. `None`
     /// disables quotas (every tenant unlimited, weight 1).
     pub quota: Option<QuotaConfig>,
+    /// Serving objective. When set, the engine tracks per-tier and
+    /// per-tenant burn rates (every completion within
+    /// `SloConfig::latency_ms` is *good*, every shed is *bad*), surfaces
+    /// live [`SloState`](aeris_obs::SloState) in
+    /// [`ServeEngine::status`](crate::engine::ServeEngine::status) and the
+    /// final report, and lets dispatch-time doom shedding grow more
+    /// conservative as the error budget burns (a time-only policy: *which*
+    /// requests survive may change, their numbers never do). `None`
+    /// disables SLO tracking entirely.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -263,6 +274,7 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             router: RouterConfig::default(),
             quota: None,
+            slo: None,
         }
     }
 }

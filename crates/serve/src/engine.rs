@@ -54,9 +54,13 @@ use crate::cache::{content_hash, CacheKey, CacheStats, RolloutCache};
 use aeris_assim::{relax_toward_observations, GuidanceSchedule, ObsGuidance, ObservationSet};
 use aeris_core::{ConsistencyStudent, EnsembleForecast, Forecaster, GuidedStepJob, StepJob};
 use aeris_diffusion::Guidance;
-use aeris_obs::{MetricSeries, SpanCategory, Tracer};
+use aeris_obs::{
+    CacheStatus, MetricSeries, SloConfig, SloState, SloTracker, SloVerdict, SpanCategory,
+    StatusReport, TenantStatus, TierStatus, Tracer,
+};
 use aeris_sched::{
-    DispatchQueue, QuotaTable, ReplicaPool, ServiceEstimator, TaskMeta, Tier, TierRouter,
+    DispatchQueue, QueueMetrics, QuotaTable, ReplicaPool, ServiceEstimator, TaskMeta, Tier,
+    TierRouter,
 };
 use aeris_swipe::{EventLog, EventRecord};
 use aeris_tensor::{Rng, Tensor};
@@ -130,6 +134,18 @@ pub struct ServeMetrics {
     pub batch_size: MetricSeries,
     /// Pending member-steps observed by workers after forming each batch.
     pub queue_depth: MetricSeries,
+    /// Enqueue-to-dispatch wait of quality-tier member-steps, milliseconds
+    /// (recorded by the dispatch queue itself; see
+    /// [`aeris_sched::QueueMetrics`]).
+    pub queue_wait_ms: MetricSeries,
+    /// Fast-tier enqueue-to-dispatch wait, milliseconds.
+    pub fast_queue_wait_ms: MetricSeries,
+    /// WFQ virtual-time lag of dispatched quality-tier tasks: how far the
+    /// fair-share frontier had overtaken a task's finish tag when it ran
+    /// (0 for tasks dispatched in pure tag order).
+    pub wfq_lag: MetricSeries,
+    /// Fast-tier WFQ virtual-time lag.
+    pub fast_wfq_lag: MetricSeries,
 }
 
 impl ServeMetrics {
@@ -142,6 +158,34 @@ impl ServeMetrics {
             fast_nowcast_latency_ms: tracer.series("serve_fast_nowcast_latency_ms"),
             batch_size: tracer.series("serve_batch_size"),
             queue_depth: tracer.series("serve_queue_depth"),
+            queue_wait_ms: tracer.series("serve_queue_wait_ms"),
+            fast_queue_wait_ms: tracer.series("serve_fast_queue_wait_ms"),
+            wfq_lag: tracer.series("serve_wfq_lag"),
+            fast_wfq_lag: tracer.series("serve_fast_wfq_lag"),
+        }
+    }
+
+    /// The queue-wait series for one tier.
+    fn queue_wait_series(&self, tier: Tier) -> &MetricSeries {
+        match tier {
+            Tier::Quality => &self.queue_wait_ms,
+            Tier::Fast => &self.fast_queue_wait_ms,
+        }
+    }
+
+    /// The WFQ-lag series for one tier.
+    fn wfq_lag_series(&self, tier: Tier) -> &MetricSeries {
+        match tier {
+            Tier::Quality => &self.wfq_lag,
+            Tier::Fast => &self.fast_wfq_lag,
+        }
+    }
+
+    /// The instrumentation handles handed to one tier's dispatch queue.
+    fn queue_metrics(&self, tier: Tier) -> QueueMetrics {
+        QueueMetrics {
+            wait_ms: self.queue_wait_series(tier).clone(),
+            virtual_lag: self.wfq_lag_series(tier).clone(),
         }
     }
 
@@ -401,9 +445,53 @@ impl Ticket {
 
 #[derive(Default)]
 struct TenantCounters {
+    /// Requests that passed validation and named this tenant.
+    submitted: u64,
+    /// Requests that passed quota + routing + admission control.
+    admitted: u64,
+    /// Admitted requests rejected post-quota (bad route or queue full).
+    rejected: u64,
     completed: u64,
     shed: u64,
     quota_denied: u64,
+}
+
+/// Per-tier and per-tenant objective trackers (present iff
+/// [`ServeConfig::slo`] is set). Tier trackers are fixed at launch; tenant
+/// trackers materialize on each tenant's first observed outcome.
+struct SloBook {
+    cfg: SloConfig,
+    /// Indexed by [`Tier::index`].
+    tiers: [SloTracker; 2],
+    tenants: Mutex<HashMap<Arc<str>, SloTracker>>,
+}
+
+impl SloBook {
+    fn new(cfg: SloConfig) -> Self {
+        SloBook {
+            tiers: [SloTracker::new(cfg.clone()), SloTracker::new(cfg.clone())],
+            tenants: Mutex::new(HashMap::new()),
+            cfg,
+        }
+    }
+
+    /// Record one request outcome on its tier's and its tenant's tracker.
+    fn observe(&self, tier: Tier, tenant: &Arc<str>, good: bool) {
+        self.tiers[tier.index()].observe(good);
+        self.tenants
+            .lock()
+            .entry(Arc::clone(tenant))
+            .or_insert_with(|| SloTracker::new(self.cfg.clone()))
+            .observe(good);
+    }
+
+    /// Final per-tenant states, sorted by tenant name.
+    fn tenant_states(&self) -> Vec<(String, SloState)> {
+        let mut out: Vec<(String, SloState)> =
+            self.tenants.lock().iter().map(|(n, t)| (n.to_string(), t.state())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// Everything the workers and the submitting threads share.
@@ -430,10 +518,13 @@ struct EngineShared {
     nowcasts: AtomicU64,
     shed: AtomicU64,
     quota_denied: AtomicU64,
+    tier_admitted: [AtomicU64; 2],
     tier_completed: [AtomicU64; 2],
     tier_shed: [AtomicU64; 2],
     tier_nowcasts: [AtomicU64; 2],
     tenants: Mutex<HashMap<Arc<str>, TenantCounters>>,
+    /// SLO trackers, present iff [`ServeConfig::slo`] is configured.
+    slo: Option<SloBook>,
 }
 
 impl EngineShared {
@@ -488,6 +579,9 @@ impl EngineShared {
             self.shed.fetch_add(1, Ordering::Relaxed);
             self.tier_shed[req.tier.index()].fetch_add(1, Ordering::Relaxed);
             self.bump_tenant(&req.tenant, |t| t.shed += 1);
+            if let Some(slo) = &self.slo {
+                slo.observe(req.tier, &req.tenant, false);
+            }
             self.events.record(actor, ServeEvent::DeadlineExceeded { req: id });
         }
         self.release_outstanding();
@@ -526,6 +620,9 @@ impl EngineShared {
             self.metrics
                 .latency_series(req.tier, req.nowcast.is_some())
                 .record(latency.as_secs_f64() * 1e3);
+            if let Some(slo) = &self.slo {
+                slo.observe(req.tier, &req.tenant, latency.as_secs_f64() * 1e3 <= slo.cfg.latency_ms);
+            }
             self.events.record(
                 actor,
                 ServeEvent::Completed {
@@ -591,6 +688,19 @@ fn worker_loop(shared: Arc<EngineShared>, tier: Tier, slot: usize, actor: usize)
         // that cannot arrive in time.
         let now = Instant::now();
         let per_unit = shared.estimator.per_unit(tier);
+        // Error-budget-aware shedding: the hotter the tier's burn rate, the
+        // more pessimistically the doom check projects remaining service
+        // time, so borderline requests are shed earlier and the freed
+        // capacity protects the work that can still meet its deadline.
+        // Time-only policy — it moves *which* requests get shed, never the
+        // numbers of the ones that complete.
+        let doom_safety = shared.slo.as_ref().map_or(1.0, |slo| {
+            match slo.tiers[tier.index()].verdict() {
+                SloVerdict::Ok => 1.0,
+                SloVerdict::Warn => 1.1,
+                SloVerdict::Page => 1.25,
+            }
+        });
         let mut live: Vec<MemberTask> = Vec::with_capacity(batch.len());
         for task in batch {
             if task.req.terminal() {
@@ -600,7 +710,7 @@ fn worker_loop(shared: Arc<EngineShared>, tier: Tier, slot: usize, actor: usize)
                 let doomed = now >= dl
                     || per_unit.is_some_and(|per| {
                         let remaining = (task.req.steps - task.next_step) as f64;
-                        now + Duration::from_secs_f64(per * remaining) > dl
+                        now + Duration::from_secs_f64(per * remaining * doom_safety) > dl
                     });
                 if doomed {
                     let id = task.req.id;
@@ -715,6 +825,8 @@ fn worker_loop(shared: Arc<EngineShared>, tier: Tier, slot: usize, actor: usize)
 /// Per-tier slice of the final report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierCounts {
+    /// Requests routed here that passed admission control.
+    pub admitted: u64,
     /// Requests this tier served to completion.
     pub completed: u64,
     /// Requests shed on this tier for deadline reasons.
@@ -726,12 +838,42 @@ pub struct TierCounts {
 /// Per-tenant slice of the final report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TenantCounts {
+    /// Requests that passed validation and named this tenant.
+    pub submitted: u64,
+    /// Of the submitted, requests that also passed quota, routing, and
+    /// admission control (each ends completed or shed).
+    pub admitted: u64,
+    /// Of the submitted, requests rejected after the quota check: a bad
+    /// route (explicit fast tier without a student) or a full queue.
+    pub rejected: u64,
     /// Requests completed for this tenant.
     pub completed: u64,
     /// Requests shed for deadline reasons.
     pub shed: u64,
     /// Requests refused at admission by the tenant's token bucket.
     pub quota_denied: u64,
+}
+
+/// Final SLO snapshot of a drained engine (present iff
+/// [`ServeConfig::slo`] was configured).
+#[derive(Clone, Debug)]
+pub struct ServeSloReport {
+    /// Per-tier final state, indexed by [`Tier::index`].
+    pub tiers: [SloState; 2],
+    /// Per-tenant final state, sorted by tenant name.
+    pub tenants: Vec<(String, SloState)>,
+}
+
+impl ServeSloReport {
+    /// The final SLO state of one tier.
+    pub fn tier(&self, tier: Tier) -> &SloState {
+        &self.tiers[tier.index()]
+    }
+
+    /// The final SLO state of a tenant, if it saw any outcomes.
+    pub fn tenant(&self, name: &str) -> Option<&SloState> {
+        self.tenants.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
 }
 
 /// Post-shutdown report: everything the engine observed while serving.
@@ -756,6 +898,8 @@ pub struct ServeReport {
     pub metrics: ServeMetrics,
     /// Final rollout-cache accounting.
     pub cache: CacheStats,
+    /// Final SLO states, when the engine ran with an objective.
+    pub slo: Option<ServeSloReport>,
 }
 
 impl ServeReport {
@@ -771,6 +915,56 @@ impl ServeReport {
             .find(|(n, _)| n == name)
             .map(|(_, c)| *c)
             .unwrap_or_default()
+    }
+
+    /// Check the report's conservation identities. The engine never loses a
+    /// request: post-drain (`in_flight == 0`), every admitted request is
+    /// exactly one of completed or shed, and every submitted request is
+    /// exactly one of completed, shed, quota-denied, or rejected —
+    /// `completed + shed + quota_denied + rejected + in_flight == submitted`
+    /// per tenant, `completed + shed == admitted` per tier. Returns the
+    /// first violated identity.
+    pub fn verify_accounting(&self) -> Result<(), String> {
+        for (tier, c) in [Tier::Fast, Tier::Quality].map(|t| (t, self.tier(t))) {
+            if c.completed + c.shed != c.admitted {
+                return Err(format!(
+                    "tier {}: completed {} + shed {} != admitted {}",
+                    tier.name(),
+                    c.completed,
+                    c.shed,
+                    c.admitted
+                ));
+            }
+        }
+        let mut admitted = 0u64;
+        for (name, c) in &self.tenants {
+            if c.completed + c.shed != c.admitted {
+                return Err(format!(
+                    "tenant {name}: completed {} + shed {} != admitted {}",
+                    c.completed, c.shed, c.admitted
+                ));
+            }
+            if c.admitted + c.quota_denied + c.rejected != c.submitted {
+                return Err(format!(
+                    "tenant {name}: admitted {} + quota_denied {} + rejected {} != submitted {}",
+                    c.admitted, c.quota_denied, c.rejected, c.submitted
+                ));
+            }
+            admitted += c.admitted;
+        }
+        let tier_admitted: u64 = self.tiers.iter().map(|t| t.admitted).sum();
+        if tier_admitted != admitted {
+            return Err(format!(
+                "tier admitted total {tier_admitted} != tenant admitted total {admitted}"
+            ));
+        }
+        if self.completed + self.shed != admitted {
+            return Err(format!(
+                "global: completed {} + shed {} != admitted {admitted}",
+                self.completed, self.shed
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -869,13 +1063,21 @@ impl ServeEngine {
             nowcasts: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             quota_denied: AtomicU64::new(0),
+            tier_admitted: [AtomicU64::new(0), AtomicU64::new(0)],
             tier_completed: [AtomicU64::new(0), AtomicU64::new(0)],
             tier_shed: [AtomicU64::new(0), AtomicU64::new(0)],
             tier_nowcasts: [AtomicU64::new(0), AtomicU64::new(0)],
             tenants: Mutex::new(HashMap::new()),
+            slo: cfg.slo.clone().map(SloBook::new),
             forecaster,
             cfg,
         });
+        // The queues report their own wait/lag distributions through the
+        // engine's metric series (lock-free histogram records; negligible
+        // next to a model evaluation).
+        for tier in [Tier::Quality, Tier::Fast] {
+            shared.queues[tier.index()].instrument(shared.metrics.queue_metrics(tier));
+        }
         let mut workers = Vec::with_capacity(n_quality + n_fast);
         for w in 0..n_quality {
             let shared = Arc::clone(&shared);
@@ -960,6 +1162,21 @@ impl ServeEngine {
         ))
     }
 
+    /// [`ServeEngine::route`] plus accounting: a routing failure after the
+    /// quota check counts as a rejection on the tenant's ledger (so
+    /// `submitted == admitted + quota_denied + rejected` always balances).
+    fn admit(
+        &self,
+        tenant: &Arc<str>,
+        explicit: Option<Tier>,
+        deadline: Option<Duration>,
+        chain_units: u64,
+    ) -> Result<Tier, ServeError> {
+        self.route(explicit, deadline, chain_units).inspect_err(|_| {
+            self.shared.bump_tenant(tenant, |t| t.rejected += 1);
+        })
+    }
+
     /// Validate, admit, route, and enqueue a forecast request. Returns a
     /// [`Ticket`] the client blocks on; every admission failure is a typed
     /// error.
@@ -971,10 +1188,11 @@ impl ServeEngine {
         }
         self.validate(&request)?;
         let tenant = self.tenant_of(&request.tenant);
+        shared.bump_tenant(&tenant, |t| t.submitted += 1);
         self.check_quota(&tenant, (request.steps * request.n_members) as f64)?;
-        let tier = self.route(request.tier, request.deadline, request.steps as u64)?;
+        let tier = self.admit(&tenant, request.tier, request.deadline, request.steps as u64)?;
         let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
-        let id = self.acquire_slot()?;
+        let id = self.acquire_slot(&tenant, tier)?;
         let _adm = adm.step(id);
         let req = Arc::new(RequestState::new(id, &request, tier, tenant));
         shared.events.record(
@@ -1001,10 +1219,11 @@ impl ServeEngine {
         }
         self.validate_nowcast(&request)?;
         let tenant = self.tenant_of(&request.tenant);
+        shared.bump_tenant(&tenant, |t| t.submitted += 1);
         self.check_quota(&tenant, request.n_members as f64)?;
-        let tier = self.route(request.tier, request.deadline, 1)?;
+        let tier = self.admit(&tenant, request.tier, request.deadline, 1)?;
         let adm = shared.tracer.span(SpanCategory::Admission, CLIENT_ACTOR);
-        let id = self.acquire_slot()?;
+        let id = self.acquire_slot(&tenant, tier)?;
         let _adm = adm.step(id);
         let req = Arc::new(RequestState::new_nowcast(id, &request, tier, tenant));
         shared.events.record(
@@ -1020,8 +1239,10 @@ impl ServeEngine {
     }
 
     /// Admission control: bounded outstanding requests, fail-fast. On
-    /// success the caller owns one outstanding slot and a fresh request id.
-    fn acquire_slot(&self) -> Result<u64, ServeError> {
+    /// success the caller owns one outstanding slot and a fresh request id,
+    /// and the request is counted admitted on its tier's and tenant's
+    /// ledgers; a refusal counts as a tenant rejection.
+    fn acquire_slot(&self, tenant: &Arc<str>, tier: Tier) -> Result<u64, ServeError> {
         let shared = &self.shared;
         {
             let mut g = shared.outstanding.lock();
@@ -1030,10 +1251,13 @@ impl ServeEngine {
                     CLIENT_ACTOR,
                     ServeEvent::RejectedQueueFull { capacity: shared.cfg.queue_capacity },
                 );
+                shared.bump_tenant(tenant, |t| t.rejected += 1);
                 return Err(ServeError::QueueFull { capacity: shared.cfg.queue_capacity });
             }
             *g += 1;
         }
+        shared.tier_admitted[tier.index()].fetch_add(1, Ordering::Relaxed);
+        shared.bump_tenant(tenant, |t| t.admitted += 1);
         Ok(shared.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -1267,6 +1491,7 @@ impl ServeEngine {
         let completed = shared.completed.load(Ordering::Relaxed);
         shared.events.record(CLIENT_ACTOR, ServeEvent::Drained { completed });
         let tiers = [Tier::Fast, Tier::Quality].map(|t| TierCounts {
+            admitted: shared.tier_admitted[t.index()].load(Ordering::Relaxed),
             completed: shared.tier_completed[t.index()].load(Ordering::Relaxed),
             shed: shared.tier_shed[t.index()].load(Ordering::Relaxed),
             nowcasts: shared.tier_nowcasts[t.index()].load(Ordering::Relaxed),
@@ -1279,6 +1504,9 @@ impl ServeEngine {
                 (
                     name.to_string(),
                     TenantCounts {
+                        submitted: c.submitted,
+                        admitted: c.admitted,
+                        rejected: c.rejected,
                         completed: c.completed,
                         shed: c.shed,
                         quota_denied: c.quota_denied,
@@ -1287,6 +1515,10 @@ impl ServeEngine {
             })
             .collect();
         tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        let slo = shared.slo.as_ref().map(|book| ServeSloReport {
+            tiers: [Tier::Fast, Tier::Quality].map(|t| book.tiers[t.index()].state()),
+            tenants: book.tenant_states(),
+        });
         ServeReport {
             completed,
             nowcasts: shared.nowcasts.load(Ordering::Relaxed),
@@ -1297,6 +1529,7 @@ impl ServeEngine {
             events: shared.events.snapshot(),
             metrics: shared.metrics.clone(),
             cache: shared.cache.stats(),
+            slo,
         }
     }
 
@@ -1333,6 +1566,94 @@ impl ServeEngine {
     /// Requests shed for deadline reasons so far.
     pub fn shed(&self) -> u64 {
         self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted but not yet terminal.
+    pub fn in_flight(&self) -> usize {
+        *self.shared.outstanding.lock()
+    }
+
+    /// Live SLO state of one tier (`None` unless [`ServeConfig::slo`] is
+    /// configured).
+    pub fn slo_state(&self, tier: Tier) -> Option<SloState> {
+        self.shared.slo.as_ref().map(|b| b.tiers[tier.index()].state())
+    }
+
+    /// One point-in-time introspection snapshot: queue depths, wait/lag
+    /// quantiles, service estimates, replica/worker sizing, per-tenant
+    /// ledgers and token balances, cache effectiveness, live SLO states,
+    /// and the tracer's counters. Render it with `Display` for the text
+    /// dashboard, or push it into the Prometheus path with
+    /// [`StatusReport::export_gauges`].
+    pub fn status(&self) -> StatusReport {
+        let shared = &self.shared;
+        let replicas = shared.cfg.replicas.max(1);
+        let mut tiers = Vec::new();
+        for tier in [Tier::Quality, Tier::Fast] {
+            if tier == Tier::Fast && shared.fast.is_none() {
+                continue;
+            }
+            let i = tier.index();
+            let wait = shared.metrics.queue_wait_series(tier);
+            let lag = shared.metrics.wfq_lag_series(tier);
+            tiers.push(TierStatus {
+                name: tier.name().to_string(),
+                queue_depth: shared.queues[i].depth(),
+                queue_wait_ms: wait.summary(),
+                wfq_lag: lag.summary(),
+                est_ms_per_unit: shared.estimator.per_unit(tier).map(|s| s * 1e3),
+                est_samples: shared.estimator.samples(tier),
+                replicas,
+                workers: match tier {
+                    Tier::Quality => shared.cfg.workers.max(1),
+                    Tier::Fast => shared.cfg.fast_workers.max(1),
+                },
+                admitted: shared.tier_admitted[i].load(Ordering::Relaxed),
+                completed: shared.tier_completed[i].load(Ordering::Relaxed),
+                shed: shared.tier_shed[i].load(Ordering::Relaxed),
+                slo: shared.slo.as_ref().map(|b| b.tiers[i].state()),
+            });
+        }
+        let balances: HashMap<String, f64> = shared
+            .quotas
+            .as_ref()
+            .map(|q| q.balances().into_iter().collect())
+            .unwrap_or_default();
+        let mut tenants: Vec<TenantStatus> = shared
+            .tenants
+            .lock()
+            .iter()
+            .map(|(name, c)| TenantStatus {
+                name: name.to_string(),
+                quota_tokens: balances.get(&**name).copied(),
+                submitted: c.submitted,
+                completed: c.completed,
+                shed: c.shed,
+                quota_denied: c.quota_denied,
+                rejected: c.rejected,
+                slo: shared
+                    .slo
+                    .as_ref()
+                    .and_then(|b| b.tenants.lock().get(name).map(|t| t.state())),
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        let cs = shared.cache.stats();
+        StatusReport {
+            tiers,
+            tenants,
+            cache: Some(CacheStatus {
+                hits: cs.hits,
+                misses: cs.misses,
+                hit_rate: cs.hit_rate(),
+                bytes: cs.bytes as u64,
+                budget_bytes: shared.cfg.cache_bytes as u64,
+                entries: cs.entries as u64,
+                evictions: cs.evictions,
+            }),
+            in_flight: *shared.outstanding.lock() as u64,
+            counters: shared.tracer.counters(),
+        }
     }
 }
 
@@ -1788,5 +2109,171 @@ mod tests {
         assert!(report.events.iter().any(|r| matches!(r.event, ServeEvent::Drained { completed: 3 })));
         assert_eq!(report.metrics.latency_ms.count(), 3);
         assert!(report.metrics.batch_size.count() > 0);
+        report.verify_accounting().expect("conservation");
+        assert_eq!(report.tier(Tier::Quality).admitted, 3);
+        assert_eq!(report.tenant("public").submitted, 3);
+        assert_eq!(report.tenant("public").admitted, 3);
+        assert!(report.slo.is_none(), "no objective configured");
+    }
+
+    /// A permissive objective for tests: sample-count windows small enough
+    /// to flip deterministically, every completion good (huge latency bound).
+    fn test_slo() -> SloConfig {
+        SloConfig {
+            latency_ms: 1e9,
+            target: 0.5,
+            short_window: 2,
+            long_window: 8,
+            warn_burn: 1.0,
+            page_burn: 1.9,
+        }
+    }
+
+    #[test]
+    fn slo_verdicts_flip_deterministically_and_surface_in_the_report() {
+        let engine = ServeEngine::start(
+            tiny_forecaster(),
+            ServeConfig { slo: Some(test_slo()), ..ServeConfig::default() },
+        );
+        // 8 synchronous good completions fill the long window: Ok.
+        for i in 0..8u64 {
+            engine.submit(request(200 + i, 1, 1)).expect("admitted").wait().expect("served");
+            assert_eq!(engine.slo_state(Tier::Quality).unwrap().verdict, SloVerdict::Ok);
+        }
+        // Zero-deadline submissions shed synchronously at admission (fresh
+        // seeds keep them out of the cache), each one a bad outcome observed
+        // on the client thread — so the flip points are exact:
+        //   after k bad: short burn = min(k,2)/2 / 0.5, long = k/8 / 0.5.
+        //   Warn needs both >= 1.0 => k >= 4; Page both >= 1.9 => k >= 8.
+        for k in 1..=8u64 {
+            let mut doomed = request(300 + k, 1, 1);
+            doomed.deadline = Some(Duration::ZERO);
+            assert!(matches!(
+                engine.submit(doomed),
+                Err(ServeError::DeadlineExceeded { .. })
+            ));
+            let state = engine.slo_state(Tier::Quality).unwrap();
+            let expect = if k >= 8 {
+                SloVerdict::Page
+            } else if k >= 4 {
+                SloVerdict::Warn
+            } else {
+                SloVerdict::Ok
+            };
+            assert_eq!(state.verdict, expect, "after {k} sheds: {state}");
+        }
+        let report = engine.shutdown();
+        report.verify_accounting().expect("conservation");
+        let slo = report.slo.as_ref().expect("objective configured");
+        assert_eq!(slo.tier(Tier::Quality).verdict, SloVerdict::Page);
+        assert_eq!(slo.tier(Tier::Quality).good_total, 8);
+        assert_eq!(slo.tier(Tier::Quality).total, 16);
+        assert_eq!(slo.tier(Tier::Fast).total, 0, "fast tier saw no traffic");
+        assert_eq!(slo.tenant("public").expect("tenant tracked").verdict, SloVerdict::Page);
+        assert_eq!(report.tier(Tier::Quality).admitted, 16);
+        assert_eq!(report.tier(Tier::Quality).shed, 8);
+    }
+
+    #[test]
+    fn slo_tracking_never_changes_served_bits() {
+        let fc = tiny_forecaster();
+        let engine = ServeEngine::start(
+            Arc::clone(&fc),
+            ServeConfig { slo: Some(test_slo()), ..ServeConfig::default() },
+        );
+        let req = request(90, 3, 2);
+        let direct = fc.ensemble(&req.init, &|_k| Tensor::zeros(&[128, 3]), 3, 2, 90);
+        let resp = engine.submit(req).expect("admitted").wait().expect("served");
+        assert_eq!(resp.forecast.members, direct.members, "SLO wiring must be time-only");
+    }
+
+    #[test]
+    fn accounting_balances_across_every_rejection_path() {
+        use aeris_sched::{QuotaConfig, TenantPolicy};
+        let engine = ServeEngine::start(
+            tiny_forecaster(),
+            ServeConfig {
+                queue_capacity: 1,
+                quota: Some(QuotaConfig {
+                    default: TenantPolicy { weight: 1.0, rate: 1e-9, burst: 4.0 },
+                    overrides: vec![(
+                        Arc::from("vip"),
+                        TenantPolicy { weight: 1.0, rate: 0.0, burst: 0.0 },
+                    )],
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        // Completed (drains acme's 4-token bucket)...
+        let mut ok = request(80, 2, 2);
+        ok.tenant = Some(Arc::from("acme"));
+        engine.submit(ok).expect("admitted").wait().expect("served");
+        // Free the single outstanding slot before the next submission (the
+        // worker releases it a beat after `wait` returns).
+        engine.drain();
+        // ...quota-denied...
+        let mut denied = request(81, 2, 2);
+        denied.tenant = Some(Arc::from("acme"));
+        assert!(matches!(engine.submit(denied), Err(ServeError::QuotaExceeded { .. })));
+        // ...shed at admission (zero deadline, uncached)...
+        let mut doomed = request(82, 2, 2);
+        doomed.tenant = Some(Arc::from("vip"));
+        doomed.deadline = Some(Duration::ZERO);
+        assert!(matches!(engine.submit(doomed), Err(ServeError::DeadlineExceeded { .. })));
+        // ...rejected on routing (explicit fast tier, no student)...
+        let mut no_student = request(83, 1, 1);
+        no_student.tenant = Some(Arc::from("vip"));
+        no_student.tier = Some(Tier::Fast);
+        assert!(matches!(engine.submit(no_student), Err(ServeError::BadRequest(_))));
+        // ...and rejected on a full queue (hold dispatch so a request pins
+        // the single outstanding slot).
+        engine.hold_dispatch();
+        let held = engine.submit(request(84, 1, 1)).expect("admitted");
+        let mut overflow = request(85, 1, 1);
+        overflow.tenant = Some(Arc::from("vip"));
+        assert!(matches!(engine.submit(overflow), Err(ServeError::QueueFull { .. })));
+        engine.release_dispatch();
+        held.wait().expect("served after release");
+        let report = engine.shutdown();
+        report.verify_accounting().expect("conservation");
+        let acme = report.tenant("acme");
+        assert_eq!((acme.submitted, acme.admitted, acme.quota_denied), (2, 1, 1));
+        let vip = report.tenant("vip");
+        assert_eq!(
+            (vip.submitted, vip.admitted, vip.shed, vip.rejected),
+            (3, 1, 1, 2),
+            "{vip:?}"
+        );
+        assert_eq!(report.tenant("public").completed, 1);
+    }
+
+    #[test]
+    fn status_snapshot_reflects_live_engine_state() {
+        let engine = ServeEngine::start(
+            tiny_forecaster(),
+            ServeConfig { slo: Some(test_slo()), ..ServeConfig::default() },
+        );
+        engine.submit(request(95, 2, 2)).expect("admitted").wait().expect("served");
+        // `wait` can return a beat before the worker releases the
+        // outstanding slot; drain blocks on the slot count itself.
+        engine.drain();
+        assert_eq!(engine.in_flight(), 0);
+        let status = engine.status();
+        assert_eq!(status.in_flight, 0);
+        assert_eq!(status.tiers.len(), 1, "quality-only engine");
+        let q = &status.tiers[0];
+        assert_eq!(q.name, "quality");
+        assert_eq!((q.admitted, q.completed, q.shed), (1, 1, 0));
+        assert!(q.est_samples > 0, "workers fed the estimator");
+        assert!(q.queue_wait_ms.as_ref().is_some_and(|s| s.count >= 4), "4 member-steps waited");
+        assert_eq!(q.slo.as_ref().unwrap().verdict, SloVerdict::Ok);
+        assert_eq!(status.tenants.len(), 1);
+        assert_eq!(status.tenants[0].name, "public");
+        assert_eq!(status.tenants[0].quota_tokens, None, "no quota table");
+        let cache = status.cache.expect("cache always reported");
+        assert!(cache.entries > 0 && cache.bytes > 0);
+        // The dashboard renders and mentions the tier and tenant.
+        let text = status.to_string();
+        assert!(text.contains("tier quality") && text.contains("tenant public"), "{text}");
     }
 }

@@ -68,11 +68,13 @@ pub mod api;
 pub mod cache;
 pub mod engine;
 
+pub use aeris_obs::{SloConfig, SloState, SloVerdict, StatusReport};
 pub use aeris_sched::{QuotaConfig, RouterConfig, TenantPolicy, Tier};
 pub use api::{
     ForecastRequest, ForecastResponse, Forcings, NowcastRequest, ServeConfig, ServeError,
 };
 pub use cache::{content_hash, CacheEntry, CacheKey, CacheStats, RolloutCache};
 pub use engine::{
-    ServeEngine, ServeEvent, ServeMetrics, ServeReport, TenantCounts, Ticket, TierCounts,
+    ServeEngine, ServeEvent, ServeMetrics, ServeReport, ServeSloReport, TenantCounts, Ticket,
+    TierCounts,
 };

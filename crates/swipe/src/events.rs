@@ -185,9 +185,13 @@ mod tests {
         assert_eq!(m.max().unwrap(), 9.0);
         assert_eq!(m.percentile(0.0).unwrap(), 1.0);
         assert_eq!(m.percentile(100.0).unwrap(), 9.0);
-        // Nearest-rank median of [1,3,5,9] lands on an actual sample.
+        // Nearest-rank median of [1,3,5,9] is 5; the histogram-backed
+        // series answers within its documented relative-error bound.
         let med = m.percentile(50.0).unwrap();
-        assert!(med == 3.0 || med == 5.0, "median {med}");
+        assert!(
+            (med - 5.0).abs() <= 5.0 * aeris_obs::histogram::MAX_QUANTILE_REL_ERROR,
+            "median {med}"
+        );
         // Shared across clones.
         let m2 = m.clone();
         m2.record(2.0);

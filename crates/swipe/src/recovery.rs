@@ -150,7 +150,13 @@ pub fn supervise(
                     }
                     None => 0,
                 };
-                steps_lost += reached_step(&failure).saturating_sub(resume_step);
+                let lost = reached_step(&failure).saturating_sub(resume_step);
+                steps_lost += lost;
+                // Ungated counters: incident telemetry must reach the
+                // registry (and the status dashboard) even when span
+                // tracing is off in production.
+                cfg.tracer.incr_always("swipe_restarts", 1);
+                cfg.tracer.incr_always("swipe_steps_lost", lost as u64);
                 // The resumed run replays the same step numbers: crashes that
                 // already fired must not fire again.
                 attempt_cfg.faults =

@@ -129,6 +129,12 @@ fn supervised_crash_recovery_matches_uninterrupted_run_bitwise() {
     assert!(ev(&|e| matches!(e, FaultEvent::RankCrashed { rank: 1, step: 3 })));
     assert!(ev(&|e| matches!(e, FaultEvent::RunResumed { attempt: 1, from_step: 2 })));
 
+    // Incident counters land in the (disabled) tracer's registry: recovery
+    // telemetry is ungated so production dashboards see it with spans off.
+    let counters = faulty.tracer.counters();
+    assert!(counters.contains(&("swipe_restarts".to_string(), 1)), "{counters:?}");
+    assert!(counters.contains(&("swipe_steps_lost".to_string(), 1)), "{counters:?}");
+
     for step in 2..4 {
         assert_eq!(
             outcome.report.losses[step].to_bits(),

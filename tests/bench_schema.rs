@@ -93,6 +93,49 @@ fn kernels_artifact_has_gemm_dtype_and_hot_shape_columns() {
     }
 }
 
+/// The observability artifact carries the histogram/SLO columns and the
+/// committed evidence for the bounded-memory telemetry rebuild: the
+/// lock-free histogram record path is at least as fast as the mutex+Vec
+/// path it replaced, per-series memory is fixed and small, the quantile
+/// error bound matches the documented `1/(2·SUBBUCKETS)`, and end-to-end
+/// training overhead with tracing enabled stays under the 2% contract.
+#[test]
+fn obs_artifact_pins_histogram_slo_and_overhead_contracts() {
+    let doc = std::fs::read_to_string(repo_root().join("BENCH_obs.json"))
+        .expect("BENCH_obs.json is committed");
+    let v = json::parse(&doc).expect("BENCH_obs.json parses");
+    let num = |path: &[&str]| {
+        v.at(path)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("missing {}", path.join(".")))
+    };
+
+    let rec = num(&["histogram", "record_ns"]);
+    let baseline = num(&["histogram", "mutex_vec_record_ns"]);
+    let shared = num(&["histogram", "concurrent_record_ns"]);
+    assert!(rec.is_finite() && rec > 0.0, "histogram.record_ns = {rec}");
+    assert!(shared.is_finite() && shared > 0.0, "histogram.concurrent_record_ns = {shared}");
+    assert!(
+        rec <= baseline * 1.10,
+        "bounded histogram record ({rec} ns) slower than the mutex+Vec path it \
+         replaced ({baseline} ns)"
+    );
+    let mem = num(&["histogram", "memory_bytes"]);
+    assert!(
+        mem > 0.0 && mem <= 64.0 * 1024.0,
+        "per-series memory must be fixed and small, got {mem} B"
+    );
+    let bound = num(&["histogram", "quantile_rel_error_bound"]);
+    assert_eq!(bound, aeris::obs::histogram::MAX_QUANTILE_REL_ERROR, "stale error bound");
+    assert!(num(&["slo", "observe_ns"]) > 0.0);
+
+    // End-to-end: tracing-enabled training within 2% of disabled.
+    let pct = num(&["swipe_train", "overhead_pct"]);
+    assert!(pct < 2.0, "committed swipe_train overhead {pct}% >= 2%");
+    assert!(num(&["span_site_ns", "disabled"]) > 0.0);
+    assert!(num(&["serve", "disabled_req_per_s"]) > 0.0);
+}
+
 /// The serving artifact carries per-tier throughput and latency columns.
 #[test]
 fn serve_artifact_has_per_tier_throughput_and_latency() {

@@ -312,6 +312,146 @@ fn serve_engine_emits_spans_counters_and_series() {
     assert!(prom.contains("category=\"admission\""), "{prom}");
 }
 
+/// The online SLO engine end to end: a deterministic outcome stream flips
+/// the engine's verdict Ok → Warn → Page at exact sample indices (windows
+/// are sample-count, not wall-clock), the final report carries the SLO
+/// states, SLO tracking never perturbs served bits, and the live status
+/// snapshot round-trips through the Prometheus exporter and the in-repo
+/// parser.
+#[test]
+fn serve_engine_slo_flips_deterministically_and_status_exports() {
+    use aeris::core::{AerisConfig, AerisModel, Forecaster};
+    use aeris::diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
+    use aeris::earthsim::NormStats;
+    use aeris::obs::parse_text;
+    use aeris::serve::{
+        ForecastRequest, Forcings, ServeConfig, ServeEngine, ServeError, SloConfig, SloVerdict,
+        Tier,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mcfg = AerisConfig::test_tiny();
+    let channels = mcfg.channels;
+    let stats = NormStats { mean: vec![0.0; channels], std: vec![1.0; channels] };
+    let fc = Arc::new(Forecaster {
+        model: AerisModel::new(mcfg),
+        res_stats: stats.clone(),
+        stats,
+        sampler: TrigFlowSampler::new(
+            TrigFlow::default(),
+            SamplerConfig { n_steps: 2, churn: 0.1, second_order: false },
+        ),
+    });
+    let request = |seed: u64, deadline: Option<Duration>| ForecastRequest {
+        init: Tensor::randn(&[128, channels], &mut Rng::seed_from(seed ^ 0xA15)),
+        forcings: Forcings::Zeros { channels: 3 },
+        steps: 2,
+        n_members: 2,
+        seed,
+        deadline,
+        tenant: None,
+        tier: None,
+    };
+
+    let tracer = Tracer::enabled();
+    let engine = ServeEngine::start_traced(
+        Arc::clone(&fc),
+        ServeConfig {
+            // Budget 50%, short window 2, long window 8: after k bad
+            // outcomes on a full-good window, short burn = min(k,2)/2/0.5
+            // and long burn = k/8/0.5, so Warn (both ≥ 1.0) lands exactly
+            // at k = 4 and Page (both ≥ 1.9) exactly at k = 8.
+            slo: Some(SloConfig {
+                latency_ms: 1e9,
+                target: 0.5,
+                short_window: 2,
+                long_window: 8,
+                warn_burn: 1.0,
+                page_burn: 1.9,
+            }),
+            ..ServeConfig::default()
+        },
+        tracer.clone(),
+    );
+
+    // 8 good completions (one checked bitwise against the direct ensemble:
+    // SLO tracking is a time-only policy and must not move numbers).
+    let direct = fc.ensemble(
+        &request(500, None).init,
+        &|_k| Tensor::zeros(&[128, 3]),
+        2,
+        2,
+        500,
+    );
+    for i in 0..8u64 {
+        let resp = engine.submit(request(500 + i, None)).expect("admitted").wait().expect("served");
+        if i == 0 {
+            assert_eq!(resp.forecast.members, direct.members, "SLO wiring moved bits");
+        }
+        assert_eq!(engine.slo_state(Tier::Quality).unwrap().verdict, SloVerdict::Ok);
+    }
+    // `wait()` wakes a beat before the worker records the SLO observation;
+    // drain blocks on the slot release that happens after it, so all 8 good
+    // outcomes are in the windows before the bad stream starts.
+    engine.drain();
+    assert_eq!(engine.slo_state(Tier::Quality).unwrap().good_total, 8);
+    // Zero-deadline submissions on fresh seeds shed synchronously at
+    // admission — a deterministic bad-outcome stream.
+    for k in 1..=8u64 {
+        let r = engine.submit(request(600 + k, Some(Duration::ZERO)));
+        assert!(matches!(r, Err(ServeError::DeadlineExceeded { .. })));
+        let state = engine.slo_state(Tier::Quality).unwrap();
+        let expect = if k >= 8 {
+            SloVerdict::Page
+        } else if k >= 4 {
+            SloVerdict::Warn
+        } else {
+            SloVerdict::Ok
+        };
+        assert_eq!(state.verdict, expect, "after {k} bad outcomes: {state}");
+    }
+
+    // The live status snapshot renders and exports through Prometheus.
+    engine.drain();
+    let status = engine.status();
+    assert_eq!(status.in_flight, 0);
+    let text = status.to_string();
+    assert!(text.contains("tier quality") && text.contains("slo: page"), "{text}");
+    status.export_gauges(&tracer);
+    let prom = tracer.prometheus_text();
+    let samples = parse_text(&prom).expect("exporter output must parse");
+    let find = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing {name} in:\n{prom}"))
+    };
+    assert_eq!(find("aeris_status_quality_slo_severity").value, 2.0);
+    assert_eq!(find("aeris_status_quality_shed").value, 8.0);
+    assert_eq!(find("aeris_status_in_flight").value, 0.0);
+    // The bounded-histogram export rides along for every series: cumulative
+    // buckets sum to the count and the +Inf bucket equals it.
+    let count = find("aeris_serve_latency_ms_hist_count").value;
+    assert_eq!(count, 8.0);
+    let inf_bucket = samples
+        .iter()
+        .find(|s| {
+            s.name == "aeris_serve_latency_ms_hist_bucket"
+                && s.label("le").is_some_and(|v| v == "+Inf")
+        })
+        .expect("+Inf bucket");
+    assert_eq!(inf_bucket.value, count);
+
+    // The final report agrees with the live view and balances.
+    let report = engine.shutdown();
+    report.verify_accounting().expect("request accounting must balance");
+    let slo = report.slo.as_ref().expect("objective configured");
+    assert_eq!(slo.tier(Tier::Quality).verdict, SloVerdict::Page);
+    assert_eq!(slo.tier(Tier::Quality).total, 16);
+    assert_eq!(slo.tenant("public").expect("tenant tracked").verdict, SloVerdict::Page);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -94,6 +94,7 @@ fn tight_deadline_overtakes_earlier_loose_deadline() {
     );
     assert_eq!(report.completed, 2);
     assert_eq!(report.shed, 0);
+    report.verify_accounting().expect("request accounting must balance");
 }
 
 /// ROADMAP item 4, "tight-deadline nowcast QoS": under a mixed load, every
@@ -170,6 +171,19 @@ fn tight_deadline_nowcasts_meet_qos_on_the_fast_tier() {
     assert_eq!(report.shed, 0);
     assert_eq!(report.tenant("nowcast-desk").completed, 4);
     assert_eq!(report.metrics.fast_nowcast_latency_ms.count(), 4);
+    // Conservation across both tiers and both tenants: admitted ==
+    // completed + shed everywhere, submitted == admitted (nothing was
+    // denied or rejected in this run).
+    report.verify_accounting().expect("request accounting must balance");
+    assert_eq!(report.tier(Tier::Fast).admitted, 4);
+    assert_eq!(report.tier(Tier::Quality).admitted, 4);
+    let desk = report.tenant("nowcast-desk");
+    assert_eq!((desk.submitted, desk.admitted, desk.rejected), (4, 4, 0));
+    // The instrumented dispatch queues recorded a wait for every
+    // member-step they released (4 nowcasts × 2 members on fast; the
+    // quality tier re-enqueues each member once per remaining step).
+    assert!(report.metrics.fast_queue_wait_ms.count() >= 8);
+    assert!(report.metrics.queue_wait_ms.count() >= 8);
 }
 
 /// Scheduling policy must never leak into forecast numbers: the fast tier

@@ -17,7 +17,7 @@ use aeris::core::{AerisConfig, AerisModel, Forecaster};
 use aeris::diffusion::{SamplerConfig, TrigFlow, TrigFlowSampler};
 use aeris::earthsim::NormStats;
 use aeris::serve::{
-    ForecastRequest, Forcings, ServeConfig, ServeEngine, ServeError, ServeEvent,
+    ForecastRequest, Forcings, ServeConfig, ServeEngine, ServeError, ServeEvent, Tier,
 };
 use aeris::tensor::{Rng, Tensor};
 use std::collections::{HashMap, HashSet};
@@ -171,6 +171,15 @@ fn concurrent_load_is_deterministic_batched_and_cached() {
     assert_eq!(report.completed, 12, "6 clients x 2 live requests each");
     assert_eq!(report.shed, 6, "each client's zero-deadline request was shed");
     assert_eq!(report.metrics.latency_ms.count(), 12);
+
+    // Conservation: every submission is accounted for exactly once, per
+    // tier and per tenant (completed + shed + quota_denied + rejected +
+    // in_flight == submitted, with in_flight == 0 after the drain).
+    report.verify_accounting().expect("request accounting must balance");
+    assert_eq!(report.tier(Tier::Quality).admitted, 18);
+    let public = report.tenant("public");
+    assert_eq!((public.submitted, public.admitted), (18, 18));
+    assert_eq!((public.completed, public.shed), (12, 6));
 }
 
 #[test]
@@ -200,4 +209,5 @@ fn single_worker_batches_across_requests() {
             .any(|r| matches!(r.event, ServeEvent::BatchExecuted { requests, .. } if requests >= 2)),
         "expected one evaluation to batch member-steps from two requests"
     );
+    report.verify_accounting().expect("request accounting must balance");
 }
